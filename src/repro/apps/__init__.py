@@ -1,0 +1,22 @@
+"""The paper's evaluation kernels (§5.2): Jacobi, Gauss, 3D-FFT, NBF."""
+
+from .base import AppKernel, auto_protocol
+from .fft3d import FFT3D
+from .gauss import Gauss
+from .jacobi import Jacobi
+from .nbf import NBF
+from .workloads import APP_NAMES, BENCH, PAPER, TINY, Workload
+
+__all__ = [
+    "APP_NAMES",
+    "AppKernel",
+    "BENCH",
+    "FFT3D",
+    "Gauss",
+    "Jacobi",
+    "NBF",
+    "PAPER",
+    "TINY",
+    "Workload",
+    "auto_protocol",
+]

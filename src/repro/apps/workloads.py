@@ -1,0 +1,69 @@
+"""Workload presets: the paper's configurations plus scaled-down versions.
+
+``PAPER`` holds the exact Table 1 configurations (run these traced — the
+materialized data paths at 48 MB × 1000 iterations are meant for real
+hardware, not a unit test).  ``BENCH`` keeps the access-pattern *shape*
+(unaligned Jacobi rows, page-aligned Gauss rows, power-of-two FFT planes,
+irregular NBF gathers) at sizes the simulator sweeps in seconds.
+``TINY`` is for materialized correctness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .base import AppKernel
+from .fft3d import FFT3D
+from .gauss import Gauss
+from .jacobi import Jacobi
+from .nbf import NBF
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, reproducible kernel configuration."""
+
+    name: str
+    factory: Callable[[], AppKernel]
+    #: Shared-memory footprint the paper reports for this configuration
+    #: (None for scaled presets).
+    paper_shared_mb: float | None = None
+
+    def make(self) -> AppKernel:
+        return self.factory()
+
+
+#: Table 1's exact configurations.
+PAPER: Dict[str, Workload] = {
+    "gauss": Workload("gauss", lambda: Gauss(n=3072), paper_shared_mb=48.0),
+    "jacobi": Workload(
+        "jacobi", lambda: Jacobi(n=2500, iterations=1000), paper_shared_mb=47.8
+    ),
+    "fft3d": Workload(
+        "fft3d", lambda: FFT3D(nx=128, ny=64, nz=64, iterations=100),
+        paper_shared_mb=42.0,
+    ),
+    "nbf": Workload(
+        "nbf", lambda: NBF(natoms=131072, npartners=80, iterations=100),
+        paper_shared_mb=52.0,
+    ),
+}
+
+#: Scaled presets for the benchmark harness (shape-preserving).
+BENCH: Dict[str, Workload] = {
+    "gauss": Workload("gauss", lambda: Gauss(n=512)),
+    "jacobi": Workload("jacobi", lambda: Jacobi(n=700, iterations=60)),
+    "fft3d": Workload("fft3d", lambda: FFT3D(nx=64, ny=64, nz=32, iterations=8)),
+    "nbf": Workload("nbf", lambda: NBF(natoms=8192, npartners=16, iterations=25)),
+}
+
+#: Tiny presets for materialized correctness tests.
+TINY: Dict[str, Workload] = {
+    "gauss": Workload("gauss", lambda: Gauss(n=48)),
+    "jacobi": Workload("jacobi", lambda: Jacobi(n=32, iterations=8)),
+    "fft3d": Workload("fft3d", lambda: FFT3D(nx=8, ny=8, nz=8, iterations=3)),
+    "nbf": Workload("nbf", lambda: NBF(natoms=256, npartners=8, iterations=5)),
+}
+
+APP_NAMES = ("gauss", "jacobi", "fft3d", "nbf")

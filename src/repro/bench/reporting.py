@@ -1,0 +1,50 @@
+"""Paper-style text tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.2f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def ratio_note(measured: float, published: float) -> str:
+    """'measured (paper: published, x ratio)' annotation."""
+    if published == 0:
+        return f"{_fmt(measured)} (paper: 0)"
+    return f"{_fmt(measured)} (paper: {_fmt(published)}, x{measured / published:.2f})"

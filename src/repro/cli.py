@@ -1,0 +1,250 @@
+"""Command-line interface: run kernels and regenerate paper experiments.
+
+::
+
+    python -m repro list                      # workloads & presets
+    python -m repro calibrate                 # show Table-1-derived rates
+    python -m repro run jacobi --nprocs 8 --adaptive \
+        --event leave:0.5:3 --event join:1.5:3
+    python -m repro table1                    # regenerate Table 1
+    python -m repro micro                     # §5.1 micro-benchmarks
+    python -m repro fig3                      # Figure 3 analytic fractions
+    python -m repro migration                 # §5.3 migration cost model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import APP_NAMES, BENCH, PAPER, TINY
+from .bench import (
+    BENCH_CALIBRATED,
+    FIGURE3_MOVED,
+    MICRO,
+    MIGRATION_COST,
+    TABLE1,
+    calibrated_rates,
+    format_table,
+    run_experiment,
+    speedup,
+)
+from .core import CompactShift, SwapLast, moved_fraction
+from .errors import ReproError
+
+PRESETS = {"paper": PAPER, "bench": BENCH, "tiny": TINY}
+
+
+def _parse_event(spec: str):
+    """``action:time[:node]`` -> (action, time, node)."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3) or parts[0] not in ("join", "leave"):
+        raise argparse.ArgumentTypeError(
+            f"bad event {spec!r}; expected join:TIME[:NODE] or leave:TIME[:NODE]"
+        )
+    action = parts[0]
+    time = float(parts[1])
+    node = int(parts[2]) if len(parts) == 3 else None
+    return action, time, node
+
+
+def cmd_list(args) -> int:
+    rows = []
+    for preset_name, preset in PRESETS.items():
+        for app_name, wl in preset.items():
+            app = wl.make()
+            if app_name == "fft3d":
+                desc = f"{app.nx}x{app.ny}x{app.nz}, {app.iterations} iters"
+            elif app_name == "nbf":
+                desc = f"{app.natoms} atoms x {app.npartners}, {app.iterations} iters"
+            else:
+                desc = f"n={app.n}, {app.iterations} iters"
+            rows.append([preset_name, app_name, desc])
+    print(format_table(["preset", "kernel", "configuration"], rows,
+                       title="Available workloads"))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    rows = [
+        [name, f"{rate * 1e9:.2f}", TABLE1[(name, 1)].time_standard]
+        for name, rate in sorted(calibrated_rates().items())
+    ]
+    print(format_table(
+        ["kernel", "rate (ns/op)", "anchors to 1-node time (s)"],
+        rows,
+        title="Compute rates calibrated against Table 1's 1-node column",
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    if args.app not in APP_NAMES:
+        print(f"unknown app {args.app!r}; one of {', '.join(APP_NAMES)}",
+              file=sys.stderr)
+        return 2
+    preset = PRESETS[args.preset]
+    factory = preset[args.app].make
+
+    def install(rt):
+        default_leave = rt.team.nprocs - 1
+        for action, time, node in args.event or []:
+            if action == "leave":
+                node_id = node if node is not None else default_leave
+                rt.sim.at(time, lambda n=node_id: rt.submit_leave(n, grace=args.grace))
+            else:
+                node_id = node if node is not None else rt.team.nprocs
+                rt.sim.at(time, lambda n=node_id: rt.submit_join(n))
+
+    res = run_experiment(
+        factory,
+        nprocs=args.nprocs,
+        adaptive=args.adaptive or bool(args.event),
+        extra_nodes=args.extra_nodes,
+        materialized=args.materialized,
+        events=install if args.event else None,
+    )
+    rows = [
+        ["simulated runtime (s)", f"{res.runtime_seconds:.3f}"],
+        ["page fetches", res.pages],
+        ["diffs fetched", res.diffs],
+        ["messages", res.messages],
+        ["traffic (MB)", f"{res.megabytes:.2f}"],
+        ["fork/join constructs", res.forks],
+        ["adapt events", res.adaptations],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.app} ({args.preset} preset) on {args.nprocs} nodes"))
+    for rec in res.adapt_records:
+        print(f"  t={rec.time:.3f}s joins={rec.joins} leaves={rec.leaves} "
+              f"urgent={rec.urgent_leaves} team {rec.nprocs_before}->"
+              f"{rec.nprocs_after} cost={rec.duration * 1e3:.1f}ms")
+    if args.materialized:
+        try:
+            ok = res.app.verify(rtol=1e-7, atol=1e-9)
+            print(f"  verification vs sequential reference: {'OK' if ok else 'MISMATCH'}")
+            if not ok:
+                return 1
+        except ReproError as err:
+            print(f"  verification unavailable: {err}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    rows = []
+    for app in APP_NAMES:
+        for nprocs in (8, 4, 1):
+            res = run_experiment(BENCH_CALIBRATED[app], nprocs=nprocs)
+            paper = TABLE1[(app, nprocs)]
+            rows.append([
+                app, nprocs, f"{res.runtime_seconds:.2f}", res.pages,
+                f"{res.megabytes:.1f}", res.messages, res.diffs,
+                paper.time_standard, paper.diffs,
+            ])
+    print(format_table(
+        ["app", "nodes", "t(s)", "pages", "MB", "messages", "diffs",
+         "paper t(s)", "paper diffs"],
+        rows,
+        title="Table 1 (scaled workloads, standard system)",
+    ))
+    return 0
+
+
+def cmd_micro(args) -> int:
+    rows = [
+        ["1-byte round trip (us)", 126.2, MICRO.rtt_1byte * 1e6],
+        ["lock acquisition (us)", 180.6, f"{MICRO.lock_min*1e6:.0f}-{MICRO.lock_max*1e6:.0f}"],
+        ["page transfer (us)", 1309.3, MICRO.page_transfer * 1e6],
+        ["diff fetch (us)", "315.8-1547.4", f"{MICRO.diff_min*1e6:.0f}-{MICRO.diff_max*1e6:.0f}"],
+    ]
+    print(format_table(["operation", "simulated", "paper"], rows,
+                       title="§5.1 micro-benchmarks (see benchmarks/test_micro_network.py)"))
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    rows = []
+    for n in (8, 6, 4):
+        for label, leaver in (("end", n - 1), ("middle", n // 2)):
+            for strategy in (CompactShift(), SwapLast()):
+                frac = float(moved_fraction(n, [leaver], strategy))
+                rows.append([n, label, leaver, strategy.name, f"{frac:.3f}"])
+    print(format_table(
+        ["procs", "leaver", "pid", "strategy", "moved fraction"],
+        rows,
+        title=f"Figure 3 analytic data movement (paper: end {FIGURE3_MOVED['end']}, "
+              f"middle {FIGURE3_MOVED['middle']})",
+    ))
+    return 0
+
+
+def cmd_migration(args) -> int:
+    from .cluster import NodePool
+    from .config import SystemConfig
+    from .dsm import TmkRuntime
+    from .network import Switch
+    from .simcore import Simulator
+
+    cfg = SystemConfig()
+    rows = []
+    for app_name in APP_NAMES:
+        sim = Simulator()
+        pool = NodePool(sim, Switch(sim, cfg.network))
+        rt = TmkRuntime(sim, cfg, pool.add_nodes(1), materialized=False)
+        PAPER[app_name].make().allocate(rt)
+        image = rt.space.total_pages * cfg.dsm.page_size + cfg.migration.image_overhead_bytes
+        copy = cfg.migration.copy_time(image)
+        rows.append([
+            app_name, f"{image / 1e6:.1f}",
+            f"{cfg.migration.spawn_time_min + copy:.2f}-{cfg.migration.spawn_time_max + copy:.2f}",
+            MIGRATION_COST[app_name],
+        ])
+    print(format_table(
+        ["app", "image (MB)", "model cost (s)", "paper (s)"],
+        rows,
+        title="§5.3 direct migration cost (spawn 0.6-0.8s + image at 8.1 MB/s)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive OpenMP-on-NOW (PPoPP 1999) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workload presets").set_defaults(fn=cmd_list)
+    sub.add_parser("calibrate", help="show calibrated compute rates").set_defaults(fn=cmd_calibrate)
+    sub.add_parser("table1", help="regenerate Table 1").set_defaults(fn=cmd_table1)
+    sub.add_parser("micro", help="§5.1 micro-benchmark summary").set_defaults(fn=cmd_micro)
+    sub.add_parser("fig3", help="Figure 3 analytic fractions").set_defaults(fn=cmd_fig3)
+    sub.add_parser("migration", help="§5.3 migration cost model").set_defaults(fn=cmd_migration)
+
+    run = sub.add_parser("run", help="run one kernel on a simulated NOW")
+    run.add_argument("app", help=f"kernel: {', '.join(APP_NAMES)}")
+    run.add_argument("--nprocs", type=int, default=4)
+    run.add_argument("--preset", choices=sorted(PRESETS), default="bench")
+    run.add_argument("--adaptive", action="store_true",
+                     help="use the adaptive runtime even without events")
+    run.add_argument("--materialized", action="store_true",
+                     help="run real data through the DSM and verify")
+    run.add_argument("--extra-nodes", type=int, default=2,
+                     help="idle workstations available for joins")
+    run.add_argument("--grace", type=float, default=None,
+                     help="grace period for scripted leaves (s)")
+    run.add_argument("--event", action="append", type=_parse_event,
+                     metavar="ACTION:TIME[:NODE]",
+                     help="schedule an adapt event (repeatable)")
+    run.set_defaults(fn=cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Adapt-event generators for experiments.
+
+The paper deliberately leaves event generation out of scope ("a daemon may
+generate events at set times according to an operational schedule, or a
+load sensor may be employed").  These are the daemons used by the
+benchmark harness:
+
+* :class:`EventScript` — explicit (time, action, node) list;
+* :class:`PeriodicAlternator` — Table 2's experiment: alternately leave
+  and re-join, at most one adapt event per adaptation point, targeting
+  the *end* or a *middle* process id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Literal, Optional, Sequence, Tuple, Union
+
+from ..core.adaptation import RequestState
+from ..errors import AdaptationError
+
+Action = Literal["join", "leave"]
+PidSelector = Union[int, Literal["end", "middle"]]
+
+
+@dataclass(frozen=True)
+class ScriptedEvent:
+    time: float
+    action: Action
+    node_id: int
+    grace: Optional[float] = None
+
+
+class EventScript:
+    """Submit a fixed list of adapt events at fixed simulated times."""
+
+    def __init__(self, runtime, events: Sequence[ScriptedEvent]):
+        self.runtime = runtime
+        self.events = sorted(events, key=lambda e: (e.time, e.node_id))
+        self.submitted: List[ScriptedEvent] = []
+
+    def install(self) -> None:
+        """Schedule every event on the runtime's simulator."""
+        for ev in self.events:
+            self.runtime.sim.at(ev.time, lambda ev=ev: self._fire(ev))
+
+    def _fire(self, ev: ScriptedEvent) -> None:
+        if ev.action == "join":
+            self.runtime.submit_join(ev.node_id)
+        else:
+            self.runtime.submit_leave(ev.node_id, grace=ev.grace)
+        self.submitted.append(ev)
+
+
+def select_pid(nprocs: int, selector: PidSelector) -> int:
+    """Resolve Table 2's leaver choice: 'end' (highest pid) or 'middle'."""
+    if isinstance(selector, int):
+        if not 0 < selector < nprocs:
+            raise AdaptationError(f"pid selector {selector} outside team of {nprocs}")
+        return selector
+    if selector == "end":
+        return nprocs - 1
+    if selector == "middle":
+        return nprocs // 2
+    raise AdaptationError(f"unknown pid selector {selector!r}")
+
+
+class PeriodicAlternator:
+    """Alternate leave/join of a chosen process id (Table 2's workload).
+
+    Waits for each adapt event to complete before scheduling the next, so
+    at most a single join or a single leave happens per adaptation point,
+    matching the paper's measurement setup.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        selector: PidSelector = "end",
+        gap: float = 1.0,
+        max_events: Optional[int] = None,
+        grace: Optional[float] = None,
+        start_delay: float = 0.0,
+    ):
+        if gap < 0:
+            raise AdaptationError("gap must be >= 0")
+        self.runtime = runtime
+        self.selector = selector
+        self.gap = gap
+        self.max_events = max_events
+        self.grace = grace
+        self.start_delay = start_delay
+        #: (time_submitted, action, node_id, completed_at)
+        self.events: List[Tuple[float, Action, int, Optional[float]]] = []
+
+    def install(self) -> None:
+        self.runtime.sim.process(self._run(), name="alternator", daemon=True)
+
+    def _wait_done(self, req) -> Generator:
+        sim = self.runtime.sim
+        while req.state not in (RequestState.DONE, RequestState.CANCELLED):
+            if self.runtime.finished:
+                return
+            yield sim.timeout(0.05)
+
+    def _run(self) -> Generator:
+        runtime = self.runtime
+        sim = runtime.sim
+        yield sim.timeout(self.start_delay)
+        count = 0
+        while not runtime.finished and (
+            self.max_events is None or count < self.max_events
+        ):
+            # leave the node currently holding the selected pid
+            pid = select_pid(runtime.team.nprocs, self.selector)
+            node_id = runtime.team.node_of(pid)
+            req = runtime.submit_leave(node_id, grace=self.grace)
+            if req is None:
+                return
+            yield from self._wait_done(req)
+            if runtime.finished:
+                return
+            self.events.append((req.submitted_at, "leave", node_id, req.completed_at))
+            count += 1
+            if self.max_events is not None and count >= self.max_events:
+                return
+            yield sim.timeout(self.gap)
+
+            # bring the same node back in
+            jreq = runtime.submit_join(node_id)
+            yield from self._wait_done(jreq)
+            if runtime.finished:
+                return
+            self.events.append((jreq.submitted_at, "join", node_id, jreq.completed_at))
+            count += 1
+            yield sim.timeout(self.gap)

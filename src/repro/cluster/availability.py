@@ -1,0 +1,123 @@
+"""Workstation-owner availability models.
+
+The NOW premise (§1): nodes become available and unavailable as their
+owners go away and return.  Two stochastic/schedule daemons generate the
+corresponding join/leave streams:
+
+* :class:`OwnerSchedule` — deterministic office-hours behaviour per node
+  (owner present => node leaves the pool);
+* :class:`PoissonOwnerActivity` — exponential away/busy periods, the
+  classic idle-workstation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from ..simcore import RandomStreams
+
+
+@dataclass(frozen=True)
+class DaySchedule:
+    """Owner presence windows for one node: (arrive, depart) pairs."""
+
+    node_id: int
+    #: While the owner is present the node is *not* available to the pool.
+    present: Tuple[Tuple[float, float], ...]
+    #: Grace period the owner tolerates when reclaiming the machine.
+    grace: Optional[float] = None
+
+    def transitions(self) -> List[Tuple[float, str]]:
+        """Chronological (time, 'leave'|'join') events for the pool."""
+        out: List[Tuple[float, str]] = []
+        for arrive, depart in self.present:
+            if depart <= arrive:
+                raise ValueError(f"presence window ({arrive}, {depart}) inverted")
+            out.append((arrive, "leave"))  # owner arrives -> node leaves pool
+            out.append((depart, "join"))  # owner departs -> node joins pool
+        return sorted(out)
+
+
+class OwnerSchedule:
+    """Drive a runtime from per-node owner presence schedules."""
+
+    def __init__(self, runtime, schedules: Sequence[DaySchedule]):
+        self.runtime = runtime
+        self.schedules = list(schedules)
+        self.fired: List[Tuple[float, str, int]] = []
+
+    def install(self) -> None:
+        for sched in self.schedules:
+            for time, action in sched.transitions():
+                self.runtime.sim.at(
+                    time,
+                    lambda a=action, s=sched: self._fire(a, s),
+                )
+
+    def _fire(self, action: str, sched: DaySchedule) -> None:
+        runtime = self.runtime
+        if action == "leave":
+            if runtime.team.has_node(sched.node_id) or runtime.pool.node(sched.node_id).in_pool:
+                runtime.submit_leave(sched.node_id, grace=sched.grace)
+        else:
+            if not runtime.team.has_node(sched.node_id):
+                runtime.submit_join(sched.node_id)
+        self.fired.append((runtime.sim.now, action, sched.node_id))
+
+
+class PoissonOwnerActivity:
+    """Exponential owner presence/absence periods for a set of nodes."""
+
+    def __init__(
+        self,
+        runtime,
+        node_ids: Sequence[int],
+        mean_away: float,
+        mean_present: float,
+        rng: Optional[RandomStreams] = None,
+        grace: Optional[float] = None,
+    ):
+        if mean_away <= 0 or mean_present <= 0:
+            raise ValueError("mean periods must be positive")
+        self.runtime = runtime
+        self.node_ids = list(node_ids)
+        self.mean_away = mean_away
+        self.mean_present = mean_present
+        self.rng = rng or RandomStreams(runtime.cfg.seed)
+        self.grace = grace
+        self.fired: List[Tuple[float, str, int]] = []
+
+    def install(self) -> None:
+        for node_id in self.node_ids:
+            self.runtime.sim.process(
+                self._owner(node_id), name=f"owner.{node_id}", daemon=True
+            )
+
+    def _owner(self, node_id: int) -> Generator:
+        runtime = self.runtime
+        sim = runtime.sim
+        stream = self.rng.stream(f"owner.{node_id}")
+        from ..errors import AdaptationError
+
+        while not runtime.finished:
+            # the owner is away for a while, then returns (node leaves)
+            yield sim.timeout(float(stream.exponential(self.mean_away)))
+            if runtime.finished:
+                return
+            if runtime.team.has_node(node_id):
+                try:
+                    runtime.submit_leave(node_id, grace=self.grace)
+                    self.fired.append((sim.now, "leave", node_id))
+                except AdaptationError:
+                    pass
+            # the owner works for a while, then goes away (node rejoins)
+            yield sim.timeout(float(stream.exponential(self.mean_present)))
+            if runtime.finished:
+                return
+            if not runtime.team.has_node(node_id):
+                try:
+                    runtime.submit_join(node_id)
+                    self.fired.append((sim.now, "join", node_id))
+                except AdaptationError:
+                    pass

@@ -1,0 +1,103 @@
+"""Load-sensor adapt-event daemon (§4: "a load sensor may be employed to
+make load-dependent decisions").
+
+Workstations report an *external load* (the owner's own processes).  The
+sensor polls every node: sustained load above ``leave_threshold`` submits
+a leave (the owner needs the machine); load back below
+``join_threshold`` on a withdrawn node submits a join.  Hysteresis plus a
+minimum dwell time prevent thrashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..errors import AdaptationError, ConfigurationError
+
+
+class LoadSensor:
+    """Polls per-node external load and drives adapt events from it."""
+
+    def __init__(
+        self,
+        runtime,
+        node_ids: Sequence[int],
+        poll_interval: float = 0.25,
+        leave_threshold: float = 0.5,
+        join_threshold: float = 0.1,
+        min_dwell: float = 1.0,
+        grace: Optional[float] = None,
+    ):
+        if poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be positive")
+        if join_threshold > leave_threshold:
+            raise ConfigurationError("join_threshold must not exceed leave_threshold")
+        self.runtime = runtime
+        self.node_ids = list(node_ids)
+        self.poll_interval = poll_interval
+        self.leave_threshold = leave_threshold
+        self.join_threshold = join_threshold
+        self.min_dwell = min_dwell
+        self.grace = grace
+        self._last_action_at: Dict[int, float] = {}
+        self.fired: List[Tuple[float, str, int, float]] = []
+
+    def install(self) -> None:
+        self.runtime.sim.process(self._poll_loop(), name="loadsensor", daemon=True)
+
+    # -- the per-node load signal -------------------------------------------
+    @staticmethod
+    def external_load(node) -> float:
+        """The owner's competing load on this node (0 = idle)."""
+        return getattr(node, "external_load", 0.0)
+
+    @staticmethod
+    def set_external_load(node, load: float) -> None:
+        node.external_load = max(0.0, load)
+
+    # -- polling ---------------------------------------------------------------
+    def _poll_loop(self) -> Generator:
+        runtime = self.runtime
+        sim = runtime.sim
+        while not runtime.finished:
+            yield sim.timeout(self.poll_interval)
+            if runtime.finished:
+                return
+            for node_id in self.node_ids:
+                self._check(node_id)
+
+    def _check(self, node_id: int) -> None:
+        runtime = self.runtime
+        sim = runtime.sim
+        node = runtime.pool.node(node_id)
+        load = self.external_load(node)
+        last = self._last_action_at.get(node_id, -1e18)
+        if sim.now - last < self.min_dwell:
+            return
+        participating = runtime.team.has_node(node_id)
+        try:
+            if participating and load >= self.leave_threshold:
+                runtime.submit_leave(node_id, grace=self.grace)
+                self._record(node_id, "leave", load)
+            elif (
+                not participating
+                and load <= self.join_threshold
+                and not any(
+                    j.node_id == node_id and j.state.value in ("pending", "ready")
+                    for j in runtime.queue.joins
+                )
+            ):
+                if not node.in_pool:
+                    node.rejoin()
+                runtime.submit_join(node_id)
+                self._record(node_id, "join", load)
+        except AdaptationError:
+            pass
+
+    def _record(self, node_id: int, action: str, load: float) -> None:
+        now = self.runtime.sim.now
+        self._last_action_at[node_id] = now
+        self.fired.append((now, action, node_id, load))
+        self.runtime.sim.tracer.emit(
+            "adapt", "load_sensor", f"{action} node{node_id} load={load:.2f}"
+        )

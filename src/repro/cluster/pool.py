@@ -1,0 +1,47 @@
+"""The pool of workstation nodes forming the NOW."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import NodeUnavailableError
+from ..network import Switch
+from ..simcore import Simulator
+from .node import Node
+
+
+class NodePool:
+    """Creates and tracks the workstations attached to one switch."""
+
+    def __init__(self, sim: Simulator, switch: Switch):
+        self.sim = sim
+        self.switch = switch
+        self.nodes: Dict[int, Node] = {}
+        self._next_id = 0
+
+    def add_node(self, speed: float = 1.0) -> Node:
+        """Provision a new workstation and attach it to the switch."""
+        node = Node(self.sim, self.switch, self._next_id, speed=speed)
+        self.nodes[self._next_id] = node
+        self._next_id += 1
+        return node
+
+    def add_nodes(self, count: int, speed: float = 1.0) -> List[Node]:
+        return [self.add_node(speed) for _ in range(count)]
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise NodeUnavailableError(f"no node with id {node_id}") from None
+
+    def available_nodes(self) -> List[Node]:
+        """Nodes currently offered to the computation."""
+        return [n for n in self.nodes.values() if n.in_pool]
+
+    def idle_nodes(self) -> List[Node]:
+        """Available nodes with no resident computation process."""
+        return [n for n in self.available_nodes() if n.resident_processes == 0]
+
+    def __len__(self) -> int:
+        return len(self.nodes)

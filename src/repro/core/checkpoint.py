@@ -1,0 +1,160 @@
+"""Fault tolerance by adaptation-point checkpointing (§4.3).
+
+At an adaptation point the slaves hold no private process state — only
+shared memory.  So a checkpoint is: (1) garbage-collect, (2) the master
+fetches every page it lacks a valid copy of, (3) the master libckpt's
+itself to disk.  No coordination with slaves, no message logging.
+
+Recovery restores the shared memory into a fresh runtime with the master
+owning every page.  (Python cannot freeze a generator mid-flight the way
+libckpt freezes a process image, so the *program driver* is restarted and
+is expected to resume from application-level state kept in shared memory —
+all bundled kernels store their iteration counter there.  The checkpoint
+cost model is unaffected by this deviation; see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..errors import CheckpointError
+from ..network import message as mk
+from ..simcore import Signal
+from .leave import PIPELINE_DEPTH
+
+
+@dataclass
+class Checkpoint:
+    """One on-disk checkpoint image (master process + all shared pages)."""
+
+    time: float
+    epoch: int
+    nprocs: int
+    total_pages: int
+    image_bytes: int
+    write_seconds: float
+    #: seg name -> raw bytes of the whole segment (materialized mode only).
+    segment_data: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class CheckpointManager:
+    """Periodic checkpointing driven from adaptation points."""
+
+    def __init__(self, runtime, interval: Optional[float] = None):
+        self.runtime = runtime
+        self.interval = interval
+        self.last_time = 0.0
+        self.checkpoints: List[Checkpoint] = []
+
+    @property
+    def last(self) -> Optional[Checkpoint]:
+        return self.checkpoints[-1] if self.checkpoints else None
+
+    def due(self, now: float) -> bool:
+        return self.interval is not None and now - self.last_time >= self.interval
+
+    def take(self) -> Generator:
+        """Take a checkpoint now (caller guarantees a fresh GC happened)."""
+        runtime = self.runtime
+        master = runtime.master
+        sim = runtime.sim
+        npages = runtime.space.total_pages
+
+        # 1. collect every page the master has no valid copy of
+        missing = []
+        for page in range(npages):
+            pte = master._pte(page)
+            if not pte.readable:
+                missing.append((page, master.owner_of(page)))
+        idx = 0
+        active = 0
+        done = Signal(sim, "ckpt.collect")
+
+        def fetch_one(page: int, owner: int) -> Generator:
+            nonlocal active
+            reply = yield master.request(
+                mk.CKPT_PAGE_REQ, owner, {"page": page}, size=8
+            )
+            yield sim.timeout(runtime.cfg.network.page_service_client)
+            pte = master._pte(page)
+            if master.materialized:
+                master.store.page_view(page)[:] = reply.payload["data"]
+            pte.valid = True
+            pte.applied.merge(reply.payload["applied"])
+            pte.prune_pending()
+            master.stats.page_fetches += 1
+            active -= 1
+            launch()
+            if active == 0 and idx >= len(missing):
+                done.fire()
+
+        def launch() -> None:
+            nonlocal active, idx
+            while active < PIPELINE_DEPTH and idx < len(missing):
+                page, owner = missing[idx]
+                idx += 1
+                active += 1
+                sim.process(fetch_one(page, owner), name=f"ckpt.{page}", daemon=True)
+
+        if missing:
+            launch()
+            yield done
+
+        # 2. write the master image (its process image + all shared pages)
+        cp = runtime.cfg.checkpoint
+        image = (
+            npages * runtime.cfg.dsm.page_size
+            + runtime.cfg.migration.image_overhead_bytes
+        )
+        write_seconds = cp.fixed_cost + image / cp.disk_rate
+        yield sim.timeout(write_seconds)
+
+        segment_data = {}
+        if master.materialized:
+            for seg in runtime.space.segments.values():
+                segment_data[seg.name] = master.store.buffer(seg)[: seg.nbytes].copy()
+
+        ckpt = Checkpoint(
+            time=sim.now,
+            epoch=master.epoch,
+            nprocs=runtime.team.nprocs,
+            total_pages=npages,
+            image_bytes=image,
+            write_seconds=write_seconds,
+            segment_data=segment_data,
+        )
+        self.checkpoints.append(ckpt)
+        self.last_time = sim.now
+        sim.tracer.emit(
+            "adapt", "checkpoint", f"{len(missing)} pages collected, {image} B image"
+        )
+
+
+def restore_checkpoint(runtime, ckpt: Checkpoint) -> None:
+    """Load a checkpoint into a *fresh* runtime (before ``run``).
+
+    The master becomes the valid owner of every shared page; every other
+    process starts cold, exactly as after recovery in the real system.
+    """
+    if runtime.fork_seq != 0:
+        raise CheckpointError("restore_checkpoint must precede run()")
+    master = runtime.master
+    for seg in runtime.space.segments.values():
+        if master.materialized:
+            data = ckpt.segment_data.get(seg.name)
+            if data is None:
+                raise CheckpointError(f"checkpoint lacks segment {seg.name!r}")
+            if data.shape[0] != seg.nbytes:
+                raise CheckpointError(f"checkpoint size mismatch for {seg.name!r}")
+            master.store.buffer(seg)[: seg.nbytes] = data
+        for page in seg.pages:
+            pte = master._pte(page)
+            pte.valid = True
+            pte.owner = master.pid
+            master.owners[page] = master.pid
+    for proc in runtime.procs.values():
+        if proc is not master:
+            proc.owners = {p: master.pid for p in range(runtime.space.total_pages)}

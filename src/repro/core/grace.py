@@ -1,0 +1,44 @@
+"""Grace-period policy (§3).
+
+A leave event gets a *grace period*: if the computation reaches an
+adaptation point before it expires, the leave is processed there (a
+normal leave); otherwise the process is migrated off the node (an urgent
+leave).  The paper notes the period can be node-specific and may even
+vary during the day — :class:`GracePolicy` supports exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class GracePolicy:
+    """Resolves the grace period for a leave event on a given node."""
+
+    def __init__(
+        self,
+        default: float = 3.0,
+        per_node: Optional[Dict[int, float]] = None,
+        time_of_day: Optional[Callable[[int, float], Optional[float]]] = None,
+    ):
+        """``time_of_day(node_id, sim_time)`` may return a period that
+        overrides the static tables (e.g. shorter during office hours)."""
+        if default < 0:
+            raise ValueError("grace period must be >= 0")
+        self.default = default
+        self.per_node = dict(per_node or {})
+        self.time_of_day = time_of_day
+
+    def period_for(self, node_id: int, now: float) -> float:
+        """The grace period applying to a leave of ``node_id`` at ``now``."""
+        if self.time_of_day is not None:
+            dynamic = self.time_of_day(node_id, now)
+            if dynamic is not None:
+                return max(0.0, dynamic)
+        return max(0.0, self.per_node.get(node_id, self.default))
+
+    def set_node_period(self, node_id: int, period: float) -> None:
+        """Pin a node-specific grace period."""
+        if period < 0:
+            raise ValueError("grace period must be >= 0")
+        self.per_node[node_id] = period

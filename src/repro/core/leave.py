@@ -1,0 +1,85 @@
+"""Normal-leave protocol (§4.2).
+
+After the adaptation-point GC, every page is valid somewhere with a known
+owner.  The master then (i) fetches every page exclusively owned by the
+leaving process for which the master itself holds no valid copy, and
+(ii) tells all other processes that it now owns those pages.  This
+master-centric transfer is the bottleneck the paper's §7 names as future
+work — the Figure-2/§5.4 benches show the per-link concentration.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..network import message as mk
+from ..simcore import Signal
+
+#: Outstanding page fetches kept in flight while draining a leaver.
+PIPELINE_DEPTH = 32
+
+
+def absorb_leaver_pages(runtime, leaver) -> Generator:
+    """Master-side: pull the leaver's exclusively-owned pages, take ownership."""
+    master = runtime.master
+    sim = runtime.sim
+    npages = runtime.space.total_pages
+    owned = [p for p in range(npages) if master.owner_of(p) == leaver.pid]
+
+    to_fetch: List[int] = []
+    for page in owned:
+        pte = master._pte(page)
+        if not pte.readable:
+            to_fetch.append(page)
+
+    # Pipelined fetches: the leaver's service CPU and the master's downlink
+    # serialize the stream, which is exactly the measured bottleneck.
+    idx = 0
+    active = 0
+    done = Signal(sim, "leave.drain")
+
+    def fetch_one(page: int) -> Generator:
+        nonlocal active, idx
+        reply = yield master.request(mk.PAGE_REQ, leaver.pid, {"page": page}, size=8)
+        yield sim.timeout(runtime.cfg.network.page_service_client)
+        pte = master._pte(page)
+        if master.materialized:
+            master.store.page_view(page)[:] = reply.payload["data"]
+        pte.valid = True
+        pte.applied.merge(reply.payload["applied"])
+        pte.prune_pending()
+        master.stats.page_fetches += 1
+        active -= 1
+        launch()
+        if active == 0 and idx >= len(to_fetch):
+            done.fire()
+
+    def launch() -> None:
+        nonlocal active, idx
+        while active < PIPELINE_DEPTH and idx < len(to_fetch):
+            page = to_fetch[idx]
+            idx += 1
+            active += 1
+            sim.process(fetch_one(page), name=f"leave.fetch.{page}", daemon=True)
+
+    if to_fetch:
+        launch()
+        yield done
+    sim.tracer.emit(
+        "adapt",
+        "leave_drain",
+        f"{leaver.name}: {len(to_fetch)} pages fetched of {len(owned)} owned",
+    )
+
+    # Ownership moves to the master, everywhere.
+    for page in owned:
+        master.owners[page] = master.pid
+        if page in master.table:
+            master.table.entry(page).owner = master.pid
+    for pid in runtime.team.pids:
+        if pid in (master.pid, leaver.pid):
+            continue
+        size = len(owned) * runtime.cfg.dsm.page_descriptor_bytes
+        if owned:
+            master.send(mk.OWNER_UPDATE, pid, {"pages": list(owned)}, size=max(size, 8))
+    return len(to_fetch), len(owned)

@@ -1,0 +1,125 @@
+"""Process-id reassignment strategies (§4.1, §7, Figure 3).
+
+When processes leave and/or join, the master reassigns pids so they stay
+dense ``0..n-1`` (the partitioning code requires it).  *How* ids are
+reassigned determines how block partitions move across nodes — Figure 3's
+point: with the shift strategy, an end-process leave re-distributes up to
+50 % of the data space while a middle leave moves only ~30 %.
+
+Strategies:
+
+* :class:`CompactShift` — survivors keep their relative order; pids above
+  each hole shift down (the paper's behaviour, Figure 3).
+* :class:`SwapLast` — the highest surviving pid drops into the hole; all
+  other pids are untouched (§7 names better reassignment strategies as
+  future work; this is the natural candidate, ablated in the benches).
+
+Also provides :func:`moved_fraction` — the analytic data-movement model
+that reproduces Figure 3's 50 % / 30 % numbers exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence
+
+from ..errors import AdaptationError
+
+
+class ReassignStrategy:
+    """Maps survivors' old pids to new dense pids."""
+
+    name = "base"
+
+    def reassign(self, old_pids: Sequence[int], leaving: Sequence[int]) -> Dict[int, int]:
+        """Return {old_pid: new_pid} for every surviving pid."""
+        raise NotImplementedError
+
+    def _validate(self, old_pids: Sequence[int], leaving: Sequence[int]) -> List[int]:
+        old = sorted(old_pids)
+        if old != list(range(len(old))):
+            raise AdaptationError(f"old pids must be dense, got {old}")
+        leaving_set = set(leaving)
+        if not leaving_set <= set(old):
+            raise AdaptationError(f"leaving pids {sorted(leaving_set)} not all in team")
+        if 0 in leaving_set:
+            raise AdaptationError("the master (pid 0) cannot leave by reassignment")
+        survivors = [p for p in old if p not in leaving_set]
+        if not survivors:
+            raise AdaptationError("cannot remove every process")
+        return survivors
+
+
+class CompactShift(ReassignStrategy):
+    """Survivors keep order; higher pids slide down into the holes."""
+
+    name = "compact-shift"
+
+    def reassign(self, old_pids: Sequence[int], leaving: Sequence[int]) -> Dict[int, int]:
+        survivors = self._validate(old_pids, leaving)
+        return {old: new for new, old in enumerate(survivors)}
+
+
+class SwapLast(ReassignStrategy):
+    """Fill each hole with the current highest pid; others untouched."""
+
+    name = "swap-last"
+
+    def reassign(self, old_pids: Sequence[int], leaving: Sequence[int]) -> Dict[int, int]:
+        survivors = self._validate(old_pids, leaving)
+        assignment = {old: old for old in survivors}
+        holes = sorted(p for p in set(leaving) if p < len(survivors) + len(set(leaving)))
+        # Iteratively move the largest remaining pid into the lowest hole.
+        holes = [h for h in holes if h < len(survivors)]
+        movable = sorted((p for p in survivors if assignment[p] >= len(survivors)), reverse=True)
+        for hole in holes:
+            if not movable:
+                break
+            src = movable.pop(0)
+            assignment[src] = hole
+        # Whatever remains above the new range must already be dense.
+        new_ids = sorted(assignment.values())
+        if new_ids != list(range(len(survivors))):
+            raise AdaptationError(f"swap-last produced non-dense ids {new_ids}")
+        return assignment
+
+
+STRATEGIES: Dict[str, ReassignStrategy] = {
+    s.name: s for s in (CompactShift(), SwapLast())
+}
+
+
+def moved_fraction(
+    n_before: int, leaving: Sequence[int], strategy: ReassignStrategy | None = None
+) -> Fraction:
+    """Fraction of a block-partitioned data space that changes owner node.
+
+    Models Figure 3: the data space is block-partitioned over ``n_before``
+    processes; after the leave it is re-partitioned over the survivors
+    under ``strategy``.  A point of the data space "moves" when the *node*
+    that owns it afterwards differs from the node that owned it before.
+
+    For ``n_before=8``: an end leave (pid 7) moves exactly 1/2 of the data
+    space; a middle leave (pid 3) moves 2/7 ≈ 30 % — the numbers printed
+    under Figure 3.
+    """
+    strategy = strategy or CompactShift()
+    old_pids = list(range(n_before))
+    assignment = strategy.reassign(old_pids, leaving)  # old pid -> new pid
+    n_after = len(assignment)
+    new_to_old = {new: old for old, new in assignment.items()}
+
+    moved = Fraction(0)
+    # Walk the union of old (x k/n_before) and new (k/n_after) breakpoints.
+    points = sorted(
+        set(Fraction(k, n_before) for k in range(n_before + 1))
+        | set(Fraction(k, n_after) for k in range(n_after + 1))
+    )
+    for lo, hi in zip(points, points[1:]):
+        mid = (lo + hi) / 2
+        old_owner_node = int(mid * n_before)  # old pid == node identity
+        new_pid = int(mid * n_after)
+        new_owner_node = new_to_old[new_pid]  # node that now holds this pid
+        if old_owner_node != new_owner_node:
+            moved += hi - lo
+    return moved

@@ -1,0 +1,317 @@
+"""The adaptive runtime — the paper's primary contribution.
+
+:class:`AdaptiveRuntime` extends the TreadMarks fork/join runtime with
+transparent adaptation: adapt events submitted at any time are executed at
+the next adaptation point (fork boundary), where the team is quiesced.
+Processing order at an adaptation point (§4.1–§4.2):
+
+1. garbage collection (leaves every page valid-or-owned, drops all
+   consistency state — this is what makes the rest cheap);
+2. master migration, if the master's node was reclaimed (§4.4: the master
+   cannot perform a normal leave, but it can migrate);
+3. for each leaving process: the master fetches the pages exclusively
+   owned by the leaver that it lacks, and announces its new ownership;
+4. process ids are reassigned (strategy pluggable, Figure 3) and joiners
+   are appended to the team;
+5. each joiner receives the page-location map in a single message;
+6. the next ``Tmk_fork`` goes to the new team, whose partitioning code
+   re-partitions the iteration space — data follows lazily via faults.
+
+Urgent leaves (grace period expired mid-region) migrate the process to a
+participating node immediately (freezing the computation for the image
+copy) and multiplex it there until this same machinery removes it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..dsm.process import DsmProcess
+from ..dsm.runtime import RunResult, TmkRuntime
+from ..errors import AdaptationError
+from ..network import message as mk
+from ..simcore import RandomStreams
+from .adaptation import (
+    AdaptationQueue,
+    AdaptationRecord,
+    JoinRequest,
+    LeaveRequest,
+    RequestState,
+)
+from .checkpoint import CheckpointManager
+from .grace import GracePolicy
+from .join import connection_setup, ship_page_map
+from .leave import absorb_leaver_pages
+from .migration import MigrationOutcome, migrate_process
+from .reassign import CompactShift, ReassignStrategy
+from .urgent import grace_watchdog, pick_migration_target
+
+
+class AdaptiveRuntime(TmkRuntime):
+    """TreadMarks plus transparent adaptivity."""
+
+    def __init__(
+        self,
+        sim,
+        cfg,
+        nodes,
+        pool,
+        materialized: bool = True,
+        grace_policy: Optional[GracePolicy] = None,
+        strategy: Optional[ReassignStrategy] = None,
+        checkpoint_interval: Optional[float] = None,
+    ):
+        super().__init__(sim, cfg, nodes, materialized=materialized)
+        self.pool = pool
+        self.queue = AdaptationQueue()
+        self.grace_policy = grace_policy or GracePolicy(cfg.grace_period)
+        self.strategy = strategy or CompactShift()
+        self.rng = RandomStreams(cfg.seed)
+        self.ckpt_mgr = CheckpointManager(self, checkpoint_interval)
+        self.migrations: List[MigrationOutcome] = []
+        self._frozen = None
+        self.adaptations = 0
+
+    # ------------------------------------------------------------------
+    # event submission (called by availability daemons or tests)
+    # ------------------------------------------------------------------
+    def submit_join(self, node_id: int) -> JoinRequest:
+        """A node became available: start the asynchronous join setup."""
+        node = self.pool.node(node_id)
+        if self.team.has_node(node_id):
+            raise AdaptationError(f"node {node_id} is already participating")
+        if not node.in_pool:
+            node.rejoin()
+        req = JoinRequest(node_id=node_id, submitted_at=self.sim.now)
+        self.queue.add_join(req)
+        self.sim.process(
+            connection_setup(self, req), name=f"join.setup.{node_id}", daemon=True
+        )
+        self.sim.tracer.emit("adapt", "join_request", f"node{node_id}")
+        return req
+
+    def submit_leave(
+        self, node_id: int, grace: Optional[float] = None
+    ) -> Optional[LeaveRequest]:
+        """A node is being reclaimed.  Returns None for idle nodes."""
+        node = self.pool.node(node_id)
+        if not self.team.has_node(node_id):
+            node.withdraw()  # idle node: nothing to adapt
+            return None
+        period = grace if grace is not None else self.grace_policy.period_for(
+            node_id, self.sim.now
+        )
+        pid = self.team.pid_of_node(node_id)
+        req = LeaveRequest(
+            node_id=node_id,
+            submitted_at=self.sim.now,
+            grace=period,
+            deadline=self.sim.now + period,
+            pid=pid,
+        )
+        self.queue.add_leave(req)
+        if pid != self.team.MASTER_PID:
+            req._watchdog = self.sim.process(
+                grace_watchdog(self, req, pid), name=f"grace.{node_id}", daemon=True
+            )
+        self.sim.tracer.emit(
+            "adapt", "leave_request", f"node{node_id} pid{pid} grace={period}"
+        )
+        return req
+
+    # ------------------------------------------------------------------
+    # freeze/unfreeze (urgent-leave migration barrier)
+    # ------------------------------------------------------------------
+    def freeze(self, reason: str = "") -> None:
+        if self._frozen is None:
+            self._frozen = self.sim.signal(f"freeze:{reason}")
+            self.sim.tracer.emit("adapt", "freeze", reason)
+
+    def unfreeze(self) -> None:
+        if self._frozen is not None:
+            frozen, self._frozen = self._frozen, None
+            frozen.fire()
+            self.sim.tracer.emit("adapt", "unfreeze", "")
+
+    def stall_check(self) -> Generator:
+        while self._frozen is not None:
+            yield self._frozen
+
+    def record_migration(self, outcome: MigrationOutcome) -> None:
+        self.migrations.append(outcome)
+
+    # ------------------------------------------------------------------
+    # the adaptation point
+    # ------------------------------------------------------------------
+    def at_adaptation_point(self) -> Generator:
+        # "All processes wait for the completion of the migration" (§4.2):
+        # an in-flight urgent-leave migration blocks the fork boundary too.
+        yield from self.stall_check()
+        adaptable = getattr(self.program, "adaptable", True)
+        if adaptable:
+            yield from self._process_adaptations()
+        if self.ckpt_mgr.due(self.sim.now):
+            yield from self.gc_at_fork_point()
+            yield from self.ckpt_mgr.take()
+
+    def _process_adaptations(self) -> Generator:
+        joins = self.queue.ready_joins()
+        # An URGENT leave whose migration has not finished yet stays queued
+        # for the next point (cannot drain a process that is mid-copy).
+        leaves = [
+            l
+            for l in self.queue.pending_leaves()
+            if l.state is RequestState.PENDING or l.migrated_at is not None
+        ]
+        if not joins and not leaves:
+            return
+        sim = self.sim
+        t0 = sim.now
+        traffic0 = self.switch.stats.snapshot()
+        record = AdaptationRecord(
+            time=t0,
+            joins=[j.node_id for j in joins],
+            leaves=[l.node_id for l in leaves if not l.was_urgent],
+            urgent_leaves=[l.node_id for l in leaves if l.was_urgent],
+            nprocs_before=self.team.nprocs,
+        )
+        sim.tracer.emit(
+            "adapt",
+            "adaptation_begin",
+            f"joins={record.joins} leaves={record.leaves + record.urgent_leaves}",
+        )
+
+        # 1. bring shared memory into the valid-or-owned state
+        yield from self.gc_at_fork_point()
+
+        # 2. master migration (its node was reclaimed)
+        master_leaves = [l for l in leaves if l.pid == self.team.MASTER_PID]
+        slave_leaves = [l for l in leaves if l.pid != self.team.MASTER_PID]
+        for req in master_leaves:
+            yield from self._migrate_master(req)
+
+        # 3. drain leaving processes' exclusively-owned pages
+        leaving_pids: List[int] = []
+        for req in slave_leaves:
+            leaver = self.procs[req.pid]
+            fetched, owned = yield from absorb_leaver_pages(self, leaver)
+            record.drained_pages += fetched
+            record.leaver_owned_pages += owned
+            leaving_pids.append(req.pid)
+
+        # 4/5/6. reassign ids, retire leavers, append joiners, ship maps
+        self._rebuild_team(leaving_pids, slave_leaves, joins)
+
+        # charge fixed master bookkeeping per adapt event handled
+        events = len(joins) + len(leaves)
+        yield sim.timeout(self.cfg.adapt_fixed_cost * events)
+
+        for req in joins:
+            req.state = RequestState.DONE
+            req.completed_at = sim.now
+        for req in leaves:
+            req.state = RequestState.DONE
+            req.completed_at = sim.now
+            watchdog = getattr(req, "_watchdog", None)
+            if watchdog is not None and watchdog.alive:
+                watchdog.interrupt("leave completed at adaptation point")
+        self.adaptations += events
+        record.nprocs_after = self.team.nprocs
+        record.duration = sim.now - t0
+        delta = self.switch.stats.snapshot().delta(traffic0)
+        record.traffic_bytes = delta.bytes
+        record.max_link_bytes = delta.max_link_bytes()
+        self.queue.history.append(record)
+        sim.tracer.emit(
+            "adapt",
+            "adaptation_end",
+            f"nprocs {record.nprocs_before}->{record.nprocs_after} "
+            f"in {record.duration:.3f}s",
+        )
+
+    def _migrate_master(self, req: LeaveRequest) -> Generator:
+        """§4.4: the master cannot normal-leave, but it can migrate."""
+        idle = [n for n in self.pool.idle_nodes() if not self.team.has_node(n.node_id)]
+        if not idle:
+            raise AdaptationError(
+                "master node reclaimed but no idle node to migrate the master to"
+            )
+        target = min(idle, key=lambda n: n.node_id)
+        old_node = self.pool.node(req.node_id)
+        outcome = yield from migrate_process(self, self.master, target)
+        self.record_migration(outcome)
+        old_node.withdraw()
+        req.was_urgent = True  # migration-based by definition
+
+    def _rebuild_team(
+        self,
+        leaving_pids: List[int],
+        slave_leaves: List[LeaveRequest],
+        joins: List[JoinRequest],
+    ) -> None:
+        old_pids = self.team.pids
+        old_mapping = self.team.snapshot()
+        remap = self.strategy.reassign(old_pids, leaving_pids)
+
+        # retire leavers: their wait loop cleans up on the STOP (it must
+        # still be routed by the leaver's server, so no teardown here)
+        for req in slave_leaves:
+            self.master.send(
+                mk.STOP,
+                req.pid,
+                {"retire": True, "withdraw": not req.was_urgent},
+                size=4,
+            )
+
+        new_mapping: Dict[int, int] = {
+            new_pid: old_mapping[old_pid] for old_pid, new_pid in remap.items()
+        }
+        joiner_pids = []
+        next_pid = len(new_mapping)
+        for req in joins:
+            new_mapping[next_pid] = req.node_id
+            joiner_pids.append(next_pid)
+            next_pid += 1
+        self.team.set_mapping(new_mapping)
+
+        # re-identify surviving processes under the new team
+        new_procs: Dict[int, DsmProcess] = {}
+        for old_pid, new_pid in remap.items():
+            proc = self.procs[old_pid]
+            proc.adapt_reset(new_pid, remap)
+            new_procs[new_pid] = proc
+        # create joiner processes and ship them the page-location map
+        for new_pid in joiner_pids:
+            node = self.pool.node(new_mapping[new_pid])
+            proc = DsmProcess(
+                self.sim,
+                self.cfg,
+                node,
+                new_pid,
+                self.team,
+                self.space,
+                materialized=self.materialized,
+            )
+            proc.stall_hook = self.stall_check
+            proc.start_server()
+            new_procs[new_pid] = proc
+        self.procs = new_procs
+        self.master = self.procs[self.team.MASTER_PID]
+        for new_pid in joiner_pids:
+            ship_page_map(self, self.procs[new_pid])
+            self._start_slave(self.procs[new_pid])
+
+        from ..dsm.vectorclock import VectorClock
+
+        self.slave_vcs = {
+            pid: VectorClock.zeros(self.team.nprocs) for pid in self.team.slave_pids
+        }
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def result(self) -> RunResult:
+        res = super().result()
+        res.adaptations = self.adaptations
+        res.adapt_log = list(self.queue.history)
+        return res

@@ -1,0 +1,113 @@
+"""Centralized barrier manager (runs at the master, §2).
+
+TreadMarks barriers are all-to-one/one-to-all: arrivals carry the write
+notices created since the arriving process last synchronized, the release
+carries every notice the arriving process has not yet seen.  When any
+participant's interval log hit its limit (or a GC was forced), a garbage
+collection round is appended: release(gc) -> each process flushes ->
+GC_DONE -> GC_GO -> everyone resets to a fresh epoch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List
+
+from ..errors import ProtocolError
+from ..network import message as mk
+from ..network.message import Message
+from .intervals import WriteNotice
+from .team import TeamView
+from .vectorclock import VectorClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import DsmProcess
+
+
+class BarrierManager:
+    """Barrier state machine living on the master process."""
+
+    def __init__(self, master: "DsmProcess"):
+        self.master = master
+        self.round = 0
+        #: Force a GC at the next barrier (used by tests and the runtime).
+        self.force_gc = False
+        self._arrivals: Dict[int, dict] = {}
+        self._local_done = None
+
+    @property
+    def _expected(self) -> List[int]:
+        return self.master.team.pids
+
+    # -- arrivals -----------------------------------------------------------
+    def arrive_local(self, proc: "DsmProcess", notices: List[WriteNotice], want_gc: bool):
+        """The master's own arrival; returns a waitable for its release."""
+        if proc is not self.master:
+            raise ProtocolError("arrive_local must be called by the master")
+        self._local_done = self.master.sim.signal(f"barrier{self.round}.master")
+        self._record(proc.pid, notices, proc.vc.copy(), want_gc)
+        return self._local_done
+
+    def on_arrive(self, msg: Message) -> None:
+        """A slave's BARRIER_ARRIVE message (fed by the server loop)."""
+        p = msg.payload
+        self._record(p["pid"], p["notices"], p["vc"], p["want_gc"])
+
+    def _record(self, pid: int, notices: List[WriteNotice], vc: VectorClock, want_gc: bool) -> None:
+        if pid in self._arrivals:
+            raise ProtocolError(f"pid {pid} arrived twice at barrier {self.round}")
+        self._arrivals[pid] = {"notices": notices, "vc": vc, "want_gc": want_gc}
+        if set(self._arrivals) == set(self._expected):
+            self.master.sim.process(
+                self._release(), name=f"barrier{self.round}.release", daemon=True
+            )
+
+    # -- release ------------------------------------------------------------
+    def _release(self) -> Generator:
+        master = self.master
+        arrivals, self._arrivals = self._arrivals, {}
+        local_done, self._local_done = self._local_done, None
+        this_round = self.round
+        self.round += 1
+
+        # Fold every arrival's notices into the master's knowledge.
+        for pid in sorted(arrivals):
+            if pid == master.pid:
+                continue
+            master.apply_notices(arrivals[pid]["notices"], arrivals[pid]["vc"])
+
+        do_gc = (
+            self.force_gc
+            or master.wants_gc
+            or any(a["want_gc"] for a in arrivals.values())
+        )
+        self.force_gc = False
+
+        for pid in sorted(arrivals):
+            if pid == master.pid:
+                continue
+            notices = master.notices_unknown_to(arrivals[pid]["vc"])
+            size = (
+                master.notice_wire_bytes(len(notices)) + master.vc_wire_bytes + 8
+            )
+            master.send(
+                mk.BARRIER_RELEASE,
+                pid,
+                {
+                    "round": this_round,
+                    "notices": notices,
+                    "vc": master.vc.copy(),
+                    "gc": do_gc,
+                },
+                size=size,
+            )
+
+        if do_gc:
+            yield from master.gc_flush()
+            for _ in range(len(arrivals) - 1):
+                yield master.gc_done_store.get()
+            for pid in sorted(arrivals):
+                if pid != master.pid:
+                    master.send(mk.GC_GO, pid, {}, size=4)
+            master.gc_reset()
+
+        local_done.fire()

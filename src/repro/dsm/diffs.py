@@ -1,0 +1,80 @@
+"""Twin/diff creation and application.
+
+In materialized mode a diff is computed by comparing the page against its
+*twin* (the pristine copy made at the first write of the interval) —
+vectorized with numpy.  In traced mode the diff carries only the declared
+dirty ranges; its wire size is identical because the declared ranges are
+exact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .intervals import Diff
+from .ranges import Range, normalize
+from .vectorclock import VectorClock
+
+
+def changed_ranges(twin: np.ndarray, current: np.ndarray) -> List[Range]:
+    """Byte ranges where ``current`` differs from ``twin`` (coalesced runs)."""
+    if twin.shape != current.shape:
+        raise ValueError("twin/page shape mismatch")
+    neq = twin != current
+    if not neq.any():
+        return []
+    # Run-length encode the boolean mask: starts where 0->1, ends where 1->0.
+    padded = np.empty(neq.size + 2, dtype=np.int8)
+    padded[0] = padded[-1] = 0
+    padded[1:-1] = neq
+    edges = np.flatnonzero(np.diff(padded))
+    starts, ends = edges[0::2], edges[1::2]
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+def make_diff(
+    proc: int,
+    seq: int,
+    page: int,
+    vc: VectorClock,
+    declared_ranges: List[Range],
+    twin: Optional[np.ndarray] = None,
+    current: Optional[np.ndarray] = None,
+) -> Optional[Diff]:
+    """Encode the diff of one page for one interval.
+
+    Materialized mode (``twin``/``current`` given): the real changed bytes
+    are compared; the result is clipped to actual changes (a write of the
+    same value produces no run, matching real TreadMarks).  Traced mode:
+    the declared ranges stand in for the comparison.
+
+    Returns ``None`` when nothing changed.
+    """
+    if twin is not None and current is not None:
+        ranges = changed_ranges(twin, current)
+        if not ranges:
+            return None
+        data = [current[s:e].copy() for s, e in ranges]
+        return Diff(proc=proc, seq=seq, page=page, vc=vc.copy(), ranges=ranges, data=data)
+    ranges = normalize(declared_ranges)
+    if not ranges:
+        return None
+    # No twin (single-writer page later demoted to multiple-writer): the
+    # declared write ranges stand in; with real bytes available, ship them.
+    data = [current[s:e].copy() for s, e in ranges] if current is not None else None
+    return Diff(proc=proc, seq=seq, page=page, vc=vc.copy(), ranges=ranges, data=data)
+
+
+def apply_diffs_in_order(diffs: List[Diff], page_buffer: Optional[np.ndarray]) -> List[Diff]:
+    """Apply ``diffs`` in happens-before order; returns the sorted list.
+
+    ``page_buffer`` may be ``None`` in traced mode (ordering still
+    computed, since callers use it to update applied clocks).
+    """
+    ordered = sorted(diffs, key=lambda d: d.sort_key())
+    if page_buffer is not None:
+        for diff in ordered:
+            diff.apply(page_buffer)
+    return ordered

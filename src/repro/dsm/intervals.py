@@ -1,0 +1,127 @@
+"""Interval records, write notices, and diffs.
+
+TreadMarks structures each process's execution into *intervals* delimited
+by releases (barrier arrivals, lock releases).  Closing an interval ticks
+the process's vector clock, records the pages written (the write set), and
+— in this implementation — eagerly encodes the diffs of multiple-writer
+pages from their twins ("eager diff creation, lazy diff fetching").  Write
+notices advertising the interval travel with the next synchronization;
+remote processes invalidate the named pages and fetch diffs on demand.
+
+All of this bookkeeping is exactly what garbage collection (§4.1) wipes:
+after a GC every page is valid somewhere with a known owner and no
+interval/notice/diff state survives, which is what makes adaptation cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .ranges import Range, diff_wire_size, total_bytes
+from .vectorclock import VectorClock
+
+
+@dataclass
+class Diff:
+    """The encoded writes of one interval to one page.
+
+    ``ranges`` always holds the dirty byte ranges (exact in both modes);
+    ``data`` additionally holds the real bytes in materialized mode as a
+    list parallel to ``ranges``.
+    """
+
+    proc: int
+    seq: int
+    page: int
+    vc: VectorClock
+    ranges: List[Range]
+    data: Optional[List[np.ndarray]] = None
+
+    @property
+    def dirty_bytes(self) -> int:
+        return total_bytes(self.ranges)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes this diff occupies in a DIFF_REPLY message."""
+        return diff_wire_size(self.ranges)
+
+    def apply(self, page_buffer: np.ndarray) -> None:
+        """Write the diff's bytes into a page-sized uint8 buffer."""
+        if self.data is None:
+            raise ValueError("cannot apply a traced-mode diff to real data")
+        for (start, end), chunk in zip(self.ranges, self.data):
+            page_buffer[start:end] = chunk
+
+    def sort_key(self):
+        """Happens-before-consistent application order."""
+        return (*self.vc.sort_key(), self.proc, self.seq)
+
+
+@dataclass
+class WriteNotice:
+    """Advertisement that ``proc``'s interval ``seq`` wrote ``page``."""
+
+    proc: int
+    seq: int
+    page: int
+    vc: VectorClock
+
+    def covered_by(self, applied: VectorClock) -> bool:
+        """True if the advertised writes are already in a copy with ``applied``."""
+        return applied.covers_interval(self.proc, self.seq)
+
+
+@dataclass
+class IntervalRecord:
+    """One closed interval of one process (kept by the writer until GC)."""
+
+    proc: int
+    seq: int
+    vc: VectorClock
+    #: page id -> dirty byte ranges within the page.
+    write_ranges: Dict[int, List[Range]] = field(default_factory=dict)
+    #: page id -> encoded diff (multiple-writer pages only).
+    diffs: Dict[int, Diff] = field(default_factory=dict)
+
+    def notices(self) -> List[WriteNotice]:
+        """The write notices advertising this interval."""
+        return [
+            WriteNotice(proc=self.proc, seq=self.seq, page=page, vc=self.vc)
+            for page in sorted(self.write_ranges)
+        ]
+
+
+class IntervalLog:
+    """Per-process store of closed intervals for the current GC epoch."""
+
+    def __init__(self, proc: int):
+        self.proc = proc
+        self._by_seq: Dict[int, IntervalRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_seq)
+
+    def add(self, record: IntervalRecord) -> None:
+        if record.seq in self._by_seq:
+            raise ValueError(f"duplicate interval seq {record.seq} for proc {self.proc}")
+        self._by_seq[record.seq] = record
+
+    def get(self, seq: int) -> IntervalRecord:
+        return self._by_seq[seq]
+
+    def diffs_for(self, page: int, from_seq_exclusive: int, to_seq_inclusive: int) -> List[Diff]:
+        """All diffs of ``page`` in intervals ``(from, to]`` (ascending seq)."""
+        out = []
+        for seq in range(from_seq_exclusive + 1, to_seq_inclusive + 1):
+            rec = self._by_seq.get(seq)
+            if rec is not None and page in rec.diffs:
+                out.append(rec.diffs[page])
+        return out
+
+    def clear(self) -> None:
+        """Drop everything (garbage collection)."""
+        self._by_seq.clear()

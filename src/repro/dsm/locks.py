@@ -1,0 +1,48 @@
+"""Centralized-manager, distributed-queue locks (§2, §5.1).
+
+The master is the manager of every lock.  An acquire goes to the manager,
+which forwards it to the tail of the lock's request chain; the previous
+tail grants the lock directly to the requester when it releases (or at
+once if it already has).  The grant carries the write notices the
+requester has not seen — the LRC acquire.  The three-message path
+(request, forward, grant) lands in the paper's measured 178–272 µs
+acquisition window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..network import message as mk
+from ..network.message import Message
+from .team import TeamView
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import DsmProcess
+
+
+class LockManager:
+    """Per-lock chain-tail bookkeeping on the master."""
+
+    def __init__(self, master: "DsmProcess"):
+        self.master = master
+        #: lock id -> pid of the last requester (tail of the chain).
+        self._tails: Dict[int, int] = {}
+
+    def on_request(self, msg: Message) -> None:
+        """Forward a LOCK_REQ to the current chain tail."""
+        lock_id = msg.payload["lock"]
+        requester = msg.payload["pid"]
+        vc = msg.payload["vc"]
+        tail = self._tails.get(lock_id, TeamView.MASTER_PID)
+        self._tails[lock_id] = requester
+        self.master.send(
+            mk.LOCK_FORWARD,
+            tail,
+            {"lock": lock_id, "requester": requester, "vc": vc},
+            size=8 + self.master.vc_wire_bytes,
+        )
+
+    def reset(self) -> None:
+        """Drop chain state (garbage collection starts a fresh epoch)."""
+        self._tails.clear()

@@ -1,0 +1,137 @@
+"""Per-process page table.
+
+Each DSM process keeps one :class:`PageTableEntry` per shared page it has
+touched.  The entry records validity (do we hold a base copy), the access
+mode (read-only vs write with a twin), the *applied* vector clock (whose
+intervals' writes our copy reflects), and the pending write notices that
+invalidated the page.
+
+Page *protocols* follow §4.1's page-location map ("what protocol is used,
+single or multiple writer"):
+
+* ``MULTIPLE_WRITER`` — concurrent writers allowed; faults on a stale copy
+  fetch diffs (twin-based).  Used for Jacobi's non-page-aligned partitions.
+* ``SINGLE_WRITER`` — one writer per epoch; faults always fetch the full
+  page from the current owner; no twins or diffs.  Used for Gauss/FFT/NBF,
+  which is why Table 1 reports zero diffs for them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import DsmError
+from .intervals import WriteNotice
+from .vectorclock import VectorClock
+
+
+class Protocol(enum.Enum):
+    """Consistency protocol of a page (fixed per shared segment)."""
+
+    SINGLE_WRITER = "single_writer"
+    MULTIPLE_WRITER = "multiple_writer"
+
+
+class AccessMode(enum.Enum):
+    """Current access mode of a local page copy."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+
+
+@dataclass
+class PageTableEntry:
+    """State of one shared page at one process."""
+
+    page: int
+    protocol: Protocol
+    #: Do we hold a base copy of the page's bytes at all?
+    valid: bool = False
+    mode: AccessMode = AccessMode.NONE
+    #: Which node holds a guaranteed-complete copy (set at alloc/GC/adapt).
+    owner: int = 0
+    #: Writes of which intervals are reflected in our copy.
+    applied: Optional[VectorClock] = None
+    #: Notices that invalidated the page and are not yet applied.
+    pending: List[WriteNotice] = field(default_factory=list)
+    #: (proc, seq) keys of ``pending`` for O(1) duplicate detection.
+    _pending_keys: set = field(default_factory=set, repr=False)
+    #: Twin (pristine pre-write copy) in materialized mode.
+    twin: Optional[np.ndarray] = None
+    #: GC epoch in which this process last accessed the page (§5.4 c5).
+    last_access_epoch: int = -1
+
+    @property
+    def readable(self) -> bool:
+        """A fault-free read is possible: valid copy with nothing pending."""
+        return self.valid and not self.pending
+
+    def add_notice(self, notice: WriteNotice) -> None:
+        """Record an invalidating write notice (idempotent)."""
+        if self.applied is not None and notice.covered_by(self.applied):
+            return
+        key = (notice.proc, notice.seq)
+        if key in self._pending_keys:
+            return
+        self._pending_keys.add(key)
+        self.pending.append(notice)
+        self.mode = AccessMode.NONE  # next access faults
+
+    def prune_pending(self) -> None:
+        """Drop pending notices now covered by the applied clock."""
+        if self.applied is None:
+            return
+        self.pending = [n for n in self.pending if not n.covered_by(self.applied)]
+        self._pending_keys = {(n.proc, n.seq) for n in self.pending}
+
+    def clear_pending(self) -> None:
+        """Drop all pending notices (after fetching them)."""
+        self.pending.clear()
+        self._pending_keys.clear()
+
+
+class PageTable:
+    """All page table entries of one process."""
+
+    def __init__(self, proc_name: str):
+        self.proc_name = proc_name
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, page: int) -> PageTableEntry:
+        """The entry for ``page``; raises if the page was never mapped."""
+        try:
+            return self._entries[page]
+        except KeyError:
+            raise DsmError(f"{self.proc_name}: page {page} not mapped") from None
+
+    def map_page(
+        self, page: int, protocol: Protocol, owner: int, valid: bool, width: int
+    ) -> PageTableEntry:
+        """Create (or reset) the entry for ``page``."""
+        pte = PageTableEntry(
+            page=page,
+            protocol=protocol,
+            valid=valid,
+            owner=owner,
+            applied=VectorClock.zeros(width),
+        )
+        self._entries[page] = pte
+        return pte
+
+    def entries_snapshot(self) -> List[PageTableEntry]:
+        """Deterministically ordered list of entries."""
+        return [self._entries[p] for p in sorted(self._entries)]

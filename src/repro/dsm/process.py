@@ -1,0 +1,858 @@
+"""The per-node DSM protocol engine.
+
+A :class:`DsmProcess` is one TreadMarks process: it owns a page table, a
+vector clock, an interval log, and a server coroutine that services
+protocol requests (page fetches, diff fetches, lock traffic) concurrently
+with the main computation — the analogue of TreadMarks' SIGIO handlers.
+
+The main computation drives the engine through:
+
+* :meth:`access` — declare the byte ranges a code section reads/writes;
+  faults (page fetches, diff fetches, twin creation) happen here;
+* :meth:`compute` — charge CPU time on the current node;
+* :meth:`barrier`, :meth:`lock_acquire`, :meth:`lock_release` — lazy
+  release consistency synchronization;
+* the fork/join driver in :mod:`repro.dsm.runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import DsmError, ProtocolError
+from ..network import message as mk
+from ..network.message import Message
+from ..simcore import Channel, Simulator, Store
+from .diffs import make_diff
+from .intervals import Diff, IntervalLog, IntervalRecord, WriteNotice
+from .memory import AddressSpace, LocalStore, SharedSegment
+from .page import AccessMode, PageTable, PageTableEntry, Protocol
+from .ranges import Range, clip, merge
+from .statistics import DsmStats
+from .team import TeamView
+from .vectorclock import VectorClock
+
+#: Message kinds routed to the main coroutine rather than a handler.
+MAIN_KINDS = frozenset(
+    {mk.FORK, mk.STOP, mk.BARRIER_RELEASE, mk.GC_GO, mk.GC_REQ, mk.LOCK_GRANT}
+)
+
+
+class DsmProcess:
+    """One TreadMarks-style DSM process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: SystemConfig,
+        node,
+        pid: int,
+        team: TeamView,
+        space: AddressSpace,
+        materialized: bool = True,
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.node = node
+        self.pid = pid
+        self.team = team
+        self.space = space
+        self.materialized = materialized
+        self.store: Optional[LocalStore] = LocalStore(space) if materialized else None
+
+        self.table = PageTable(proc_name=self.name)
+        self.vc = VectorClock.zeros(team.nprocs)
+        self.log = IntervalLog(pid)
+        self.epoch = 0
+        #: (proc, seq, page) -> WriteNotice; everything known this epoch.
+        self.seen: Dict[Tuple[int, int, int], WriteNotice] = {}
+        #: Per-writer index of the same notices, ordered by seq, so that
+        #: "everything newer than vc[w]" is a bisect instead of a scan.
+        self._seen_by_proc: Dict[int, List[Tuple[int, int, WriteNotice]]] = {}
+        #: page -> dirty ranges of the *open* interval.
+        self.current_writes: Dict[int, List[Range]] = {}
+        #: page -> owner pid overrides (default: segment home).
+        self.owners: Dict[int, int] = {}
+        self.stats = DsmStats()
+        #: Highest own interval seq already reported to the master.
+        self._sent_to_master_seq = 0
+
+        #: Control messages for the main coroutine (fork, release, grants...).
+        self.main_inbox = Channel(sim, name=f"{self.name}.main")
+        #: Master-side collectors.
+        self.join_store = Store(sim, name=f"{self.name}.joins")
+        self.gc_done_store = Store(sim, name=f"{self.name}.gcdone")
+        self.barrier_mgr = None  # set for the master by the runtime
+        self.lock_mgr = None  # set for the master by the runtime
+        #: Per-process distributed lock state: lock id -> dict.
+        self._lock_state: Dict[int, Dict[str, Any]] = {}
+        #: Set by the runtime: a generator-returning callable that blocks
+        #: while the system is frozen (urgent-leave migration, §4.2).  It
+        #: is consulted between individual page faults so a long fault
+        #: sequence cannot run through a freeze.
+        self.stall_hook = None
+        #: req_ids currently being served (duplicate retransmissions of a
+        #: request we are still working on are suppressed).
+        self._inflight_reqs: set = set()
+        self._server_proc = None
+        node.add_process()
+
+    # ------------------------------------------------------------------
+    # identity & plumbing
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"P{self.pid}"
+
+    @property
+    def is_master(self) -> bool:
+        return self.pid == TeamView.MASTER_PID
+
+    @property
+    def vc_wire_bytes(self) -> int:
+        return self.vc.width * self.cfg.dsm.clock_entry_bytes
+
+    def notice_wire_bytes(self, n_notices: int) -> int:
+        return n_notices * self.cfg.dsm.write_notice_bytes
+
+    def send(
+        self,
+        kind: str,
+        dst_pid: int,
+        payload: Any = None,
+        size: int = 8,
+        req_id: Optional[int] = None,
+        is_reply: bool = False,
+    ) -> Message:
+        """Build and transmit a protocol message to another process."""
+        msg = Message(
+            kind=kind,
+            src=self.node.node_id,
+            dst=self.team.node_of(dst_pid),
+            size_bytes=size,
+            payload=payload,
+            req_id=req_id,
+            is_reply=is_reply,
+            src_pid=self.pid,
+            dst_pid=dst_pid,
+        )
+        self.node.nic.send(msg)
+        return msg
+
+    def request(self, kind: str, dst_pid: int, payload: Any, size: int):
+        """Waitable request/reply to another process's server."""
+        msg = Message(
+            kind=kind,
+            src=self.node.node_id,
+            dst=self.team.node_of(dst_pid),
+            size_bytes=size,
+            payload=payload,
+            req_id=mk.next_req_id(),
+            src_pid=self.pid,
+            dst_pid=dst_pid,
+        )
+        return self.node.nic.request(msg)
+
+    # ------------------------------------------------------------------
+    # server: request handling (the SIGIO side of TreadMarks)
+    # ------------------------------------------------------------------
+    def start_server(self) -> None:
+        """(Re)start the server coroutine on the current node's NIC."""
+        if self._server_proc is not None and self._server_proc.alive:
+            self._server_proc.interrupt("server restart")
+        self._server_proc = self.sim.process(
+            self._server_loop(), name=f"{self.name}.server", daemon=True
+        )
+
+    def _server_loop(self) -> Generator:
+        inbox = self.node.nic.inbox
+        while True:
+            # Only take messages addressed to this process (or to the node
+            # as a whole) — two multiplexed processes share one NIC.
+            msg = yield inbox.recv(
+                match=lambda m: m.dst_pid is None or m.dst_pid == self.pid
+            )
+            if msg.kind in MAIN_KINDS:
+                self.main_inbox.put(msg)
+            elif msg.kind == mk.BARRIER_ARRIVE:
+                self.barrier_mgr.on_arrive(msg)
+            elif msg.kind == mk.JOIN_DONE:
+                self.join_store.put(msg)
+            elif msg.kind == mk.GC_DONE:
+                self.gc_done_store.put(msg)
+            elif msg.kind == mk.LOCK_REQ:
+                self.lock_mgr.on_request(msg)
+            else:
+                if msg.req_id is not None:
+                    if msg.req_id in self._inflight_reqs:
+                        continue  # duplicate of a request already in service
+                    self._inflight_reqs.add(msg.req_id)
+                self.sim.process(
+                    self._dispatch(msg),
+                    name=f"{self.name}.h.{msg.kind}",
+                    daemon=True,
+                )
+
+    def _dispatch(self, msg: Message) -> Generator:
+        try:
+            yield from self._handle_request(msg)
+        finally:
+            if msg.req_id is not None:
+                self._inflight_reqs.discard(msg.req_id)
+
+    def _handle_request(self, msg: Message) -> Generator:
+        if msg.kind == mk.PAGE_REQ:
+            yield from self._serve_page(msg)
+        elif msg.kind == mk.DIFF_REQ:
+            yield from self._serve_diff(msg)
+        elif msg.kind == mk.LOCK_FORWARD:
+            yield from self._on_lock_forward(msg)
+        elif msg.kind == mk.CKPT_PAGE_REQ:
+            yield from self._serve_page(msg, reply_kind=mk.CKPT_PAGE_REPLY)
+        elif msg.kind == mk.CONNECT:
+            # A joining process dialing in (§4.1): acknowledge.
+            yield from self.node.service(50.0e-6)
+            self.node.nic.send(msg.reply(mk.CONNECT_ACK, size_bytes=4))
+        elif msg.kind == mk.PAGE_MAP:
+            # The page-location map shipped to a joiner at absorption.
+            self.owners = dict(msg.payload["owners"])
+            self.sim.tracer.emit("adapt", "page_map", f"{self.name} {len(self.owners)} pages")
+        elif msg.kind == mk.OWNER_UPDATE:
+            # The master took over a leaver's pages (§4.2).
+            for page in msg.payload["pages"]:
+                self.owners[page] = TeamView.MASTER_PID
+                if page in self.table:
+                    self.table.entry(page).owner = TeamView.MASTER_PID
+        else:
+            raise ProtocolError(f"{self.name}: unexpected request {msg!r}")
+
+    def _serve_page(self, msg: Message, reply_kind: str = mk.PAGE_REPLY) -> Generator:
+        page = msg.payload["page"]
+        # Lazily map: the home/owner of a page holds a valid (zero-filled)
+        # copy even before ever touching it.
+        pte = self._pte(page)
+        if not pte.valid:
+            raise ProtocolError(
+                f"{self.name}: asked for page {page} but holds no valid copy"
+            )
+        yield from self.node.service(self.cfg.network.page_service_server)
+        data = None
+        if self.materialized:
+            data = self.store.page_view(page).copy()
+        payload = {
+            "page": page,
+            "applied": pte.applied.copy(),
+            "data": data,
+        }
+        size = self.cfg.dsm.page_size + self.vc_wire_bytes
+        self.node.nic.send(msg.reply(reply_kind, size_bytes=size, payload=payload))
+
+    def _serve_diff(self, msg: Message) -> Generator:
+        page = msg.payload["page"]
+        from_seq = msg.payload["from_seq"]
+        to_seq = msg.payload["to_seq"]
+        self._encode_lazy_diffs(page, from_seq, to_seq)
+        diffs = self.log.diffs_for(page, from_seq, to_seq)
+        dirty = sum(d.dirty_bytes for d in diffs)
+        cost = self.cfg.network.diff_fixed + dirty * self.cfg.network.diff_per_byte
+        yield from self.node.service(cost)
+        size = sum(d.wire_size for d in diffs) + 4
+        self.node.nic.send(
+            msg.reply(
+                mk.DIFF_REPLY,
+                size_bytes=size,
+                payload={"diffs": diffs, "n_diffs": len(diffs)},
+            )
+        )
+
+    def _encode_lazy_diffs(self, page: int, from_seq: int, to_seq: int) -> None:
+        """Encode diffs for intervals that skipped eager creation.
+
+        Happens only for pages demoted from single-writer after their
+        interval closed.  In materialized mode the current page bytes stand
+        in for the (long gone) interval snapshot; the declared ranges are
+        exact, and later intervals' diffs overwrite in apply order, so the
+        reader converges to the same bytes.
+        """
+        for seq in range(from_seq + 1, to_seq + 1):
+            try:
+                rec = self.log.get(seq)
+            except KeyError:
+                continue
+            if page not in rec.write_ranges or page in rec.diffs:
+                continue
+            diff = make_diff(
+                proc=self.pid,
+                seq=seq,
+                page=page,
+                vc=rec.vc,
+                declared_ranges=rec.write_ranges[page],
+                current=self.store.page_view(page) if self.materialized else None,
+            )
+            if diff is not None:
+                rec.diffs[page] = diff
+                self.stats.diffs_created += 1
+
+    # ------------------------------------------------------------------
+    # page ownership and notices
+    # ------------------------------------------------------------------
+    def owner_of(self, page: int) -> int:
+        """Current owner pid of ``page`` as known to this process."""
+        own = self.owners.get(page)
+        if own is not None:
+            return own
+        return self.space.segment_of_page(page).home
+
+    def _pte(self, page: int) -> PageTableEntry:
+        """Get or lazily map the entry for ``page``."""
+        if page in self.table:
+            return self.table.entry(page)
+        seg = self.space.segment_of_page(page)
+        owner = self.owner_of(page)
+        return self.table.map_page(
+            page,
+            protocol=seg.protocol,
+            owner=owner,
+            valid=(owner == self.pid),
+            width=self.vc.width,
+        )
+
+    def apply_notice(self, notice: WriteNotice) -> None:
+        """Record a remote write notice (invalidate the page)."""
+        key = (notice.proc, notice.seq, notice.page)
+        if key in self.seen:
+            return
+        self.seen[key] = notice
+        self._index_notice(notice)
+        if notice.proc == self.pid:
+            return
+        pte = self._pte(notice.page)
+        if pte.protocol is Protocol.SINGLE_WRITER and not notice.covered_by(pte.applied):
+            # Another process wrote this page without having seen our own
+            # write: the single-writer optimization no longer applies, so
+            # demote the page to the multiple-writer (diff) protocol — as
+            # TreadMarks does when it detects write sharing.
+            own_seq = pte.applied.entries[self.pid]
+            concurrent = (
+                own_seq > 0 and notice.vc.entries[self.pid] < own_seq
+            ) or notice.page in self.current_writes
+            if concurrent:
+                pte.protocol = Protocol.MULTIPLE_WRITER
+                self.sim.tracer.emit(
+                    "dsm", "demote", f"{self.name} pg{notice.page} -> multiple-writer"
+                )
+        pte.add_notice(notice)
+        if pte.protocol is Protocol.SINGLE_WRITER:
+            # The latest writer holds the complete page.
+            pte.owner = notice.proc
+            self.owners[notice.page] = notice.proc
+
+    def apply_notices(self, notices: Iterable[WriteNotice], sender_vc: VectorClock) -> None:
+        """Apply a batch of notices and merge the sender's clock."""
+        for n in notices:
+            self.apply_notice(n)
+        self.vc.merge(sender_vc)
+
+    def _index_notice(self, notice: WriteNotice) -> None:
+        import bisect
+
+        bucket = self._seen_by_proc.setdefault(notice.proc, [])
+        entry = (notice.seq, notice.page, notice)
+        if not bucket or entry[:2] >= bucket[-1][:2]:
+            bucket.append(entry)
+        else:
+            bisect.insort(bucket, entry[:2] + (notice,), key=lambda e: e[:2])
+
+    def notices_unknown_to(self, other_vc: VectorClock) -> List[WriteNotice]:
+        """All epoch notices this process knows that ``other_vc`` does not cover."""
+        import bisect
+
+        out: List[WriteNotice] = []
+        for proc in sorted(self._seen_by_proc):
+            bucket = self._seen_by_proc[proc]
+            floor = other_vc.entries[proc] if proc < other_vc.width else 0
+            # first entry with seq > floor (pages sort after -1)
+            start = bisect.bisect_left(bucket, (floor + 1, -1), key=lambda e: e[:2])
+            out.extend(entry[2] for entry in bucket[start:])
+        return out
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        seg: SharedSegment,
+        reads: Iterable[Range] = (),
+        writes: Iterable[Range] = (),
+    ) -> Generator:
+        """Declare that the program now reads/writes these segment byte ranges.
+
+        Pages not valid locally fault and fetch; written pages get twins
+        and enter the open interval's write set.  This is the page-level
+        equivalent of the SEGV handler firing as compiled code touches
+        shared arrays.
+        """
+        reads = list(reads)
+        writes = list(writes)
+        write_pages: Dict[int, List[Range]] = {}
+        read_pages = set()
+        for lo, hi in writes:
+            for page in seg.pages_for_range(lo, hi):
+                wlo, whi = seg.page_window(page, self.cfg.dsm.page_size)
+                local = [
+                    (s - wlo, e - wlo)
+                    for s, e in clip([(lo, hi)], wlo, whi)
+                ]
+                write_pages.setdefault(page, []).extend(local)
+        for lo, hi in reads:
+            read_pages.update(seg.pages_for_range(lo, hi))
+
+        for page in sorted(read_pages | set(write_pages)):
+            if self.stall_hook is not None:
+                yield from self.stall_hook()
+            yield from self._ensure_access(page, write=page in write_pages)
+            if page in write_pages:
+                prev = self.current_writes.setdefault(page, [])
+                self.current_writes[page] = merge(prev, write_pages[page])
+
+    def access_batch(self, specs) -> Generator:
+        """Access several segments in one region step.
+
+        Under LRC this is simply the accesses in sequence; the SC baseline
+        overrides it to make the combined write set atomic.
+        """
+        for seg, reads, writes in specs:
+            yield from self.access(seg, reads, writes)
+
+    def _ensure_access(self, page: int, write: bool) -> Generator:
+        """Fault in one page for read or write access."""
+        pte = self._pte(page)
+        pte.last_access_epoch = self.epoch
+        needs_fetch = (not pte.valid) or bool(pte.pending)
+        if needs_fetch:
+            t0 = self.sim.now
+            self.stats.read_faults += 0 if write else 1
+            self.stats.write_faults += 1 if write else 0
+            if not pte.valid:
+                yield from self._fetch_page(pte, self.owner_of(page))
+            if pte.pending:
+                yield from self._fetch_pending(pte)
+            self.stats.fault_wait_time += self.sim.now - t0
+        if write:
+            self._prepare_write(pte)
+        elif pte.mode is AccessMode.NONE:
+            pte.mode = AccessMode.READ
+
+    def _fetch_page(self, pte: PageTableEntry, from_pid: int) -> Generator:
+        """Fetch a full page copy from ``from_pid``."""
+        if from_pid == self.pid:
+            # First touch at the home/owner: the zero-filled copy is valid.
+            pte.valid = True
+            return
+        reply = yield self.request(
+            mk.PAGE_REQ, from_pid, {"page": pte.page}, size=8
+        )
+        yield self.sim.timeout(self.cfg.network.page_service_client)
+        if self.materialized:
+            self.store.page_view(pte.page)[:] = reply.payload["data"]
+        pte.valid = True
+        pte.applied.merge(reply.payload["applied"])
+        pte.prune_pending()
+        self.stats.page_fetches += 1
+        self.sim.tracer.emit("dsm", "page_fetch", f"{self.name}<-P{from_pid} pg{pte.page}")
+
+    def _fetch_pending(self, pte: PageTableEntry) -> Generator:
+        """Bring a stale copy up to date (diffs, or full page re-fetch)."""
+        if pte.protocol is Protocol.SINGLE_WRITER:
+            latest = max(pte.pending, key=lambda n: (*n.vc.sort_key(), -n.proc))
+            yield from self._fetch_page_refresh(pte, latest.proc)
+            pte.prune_pending()
+            if not pte.pending:
+                return
+            # Concurrent writers after all: demote and fall through to the
+            # diff path for the remaining intervals.
+            pte.protocol = Protocol.MULTIPLE_WRITER
+            self.sim.tracer.emit(
+                "dsm", "demote", f"{self.name} pg{pte.page} -> multiple-writer"
+            )
+        by_writer: Dict[int, int] = {}
+        for n in pte.pending:
+            by_writer[n.proc] = max(by_writer.get(n.proc, 0), n.seq)
+        collected: List[Diff] = []
+        for writer in sorted(by_writer):
+            if writer == self.pid:
+                raise ProtocolError(f"{self.name}: pending notice from self")
+            from_seq = pte.applied.entries[writer]
+            to_seq = by_writer[writer]
+            reply = yield self.request(
+                mk.DIFF_REQ,
+                writer,
+                {"page": pte.page, "from_seq": from_seq, "to_seq": to_seq},
+                size=16,
+            )
+            collected.extend(reply.payload["diffs"])
+            self.stats.diff_requests += 1
+        buffer = self.store.page_view(pte.page) if self.materialized else None
+        for diff in sorted(collected, key=lambda d: d.sort_key()):
+            if buffer is not None:
+                diff.apply(buffer)
+            pte.applied.entries[diff.proc] = max(pte.applied.entries[diff.proc], diff.seq)
+        # Notices may name intervals that produced no diff for this page
+        # (e.g. a write of identical bytes); cover them explicitly.
+        for writer, seq in by_writer.items():
+            pte.applied.entries[writer] = max(pte.applied.entries[writer], seq)
+        self.stats.diffs_fetched += len(collected)
+        pte.clear_pending()
+
+    def _fetch_page_refresh(self, pte: PageTableEntry, from_pid: int) -> Generator:
+        """Re-fetch a full page (single-writer protocol update path)."""
+        reply = yield self.request(mk.PAGE_REQ, from_pid, {"page": pte.page}, size=8)
+        yield self.sim.timeout(self.cfg.network.page_service_client)
+        if self.materialized:
+            self.store.page_view(pte.page)[:] = reply.payload["data"]
+        pte.valid = True
+        pte.applied.merge(reply.payload["applied"])
+        pte.owner = from_pid
+        self.owners[pte.page] = from_pid
+        self.stats.page_fetches += 1
+
+    def _prepare_write(self, pte: PageTableEntry) -> None:
+        """First write to a page in the open interval: twin it."""
+        if pte.page not in self.current_writes:
+            if self.materialized and pte.protocol is Protocol.MULTIPLE_WRITER:
+                pte.twin = self.store.page_view(pte.page).copy()
+            self.stats.twins_created += 1
+            self.node.busy_time += self.cfg.dsm.twin_time
+            self.current_writes[pte.page] = []
+        if pte.protocol is Protocol.SINGLE_WRITER and pte.owner != self.pid:
+            pte.owner = self.pid
+            self.owners[pte.page] = self.pid
+        pte.valid = True
+        pte.mode = AccessMode.WRITE
+
+    # ------------------------------------------------------------------
+    # intervals & releases
+    # ------------------------------------------------------------------
+    def close_interval(self) -> List[WriteNotice]:
+        """Close the open interval (at a release); returns its notices."""
+        if not self.current_writes:
+            return []
+        self.vc.tick(self.pid)
+        seq = self.vc.entries[self.pid]
+        rec = IntervalRecord(proc=self.pid, seq=seq, vc=self.vc.copy())
+        for page, ranges in sorted(self.current_writes.items()):
+            pte = self.table.entry(page)
+            rec.write_ranges[page] = ranges
+            # Multiple-writer pages encode their diff now, from the twin.
+            # Single-writer pages serve full-page refreshes instead; should
+            # one be demoted later (write sharing after an adaptation), its
+            # diff is encoded lazily at the first DIFF_REQ from the
+            # recorded ranges (see _serve_diff).
+            if pte.protocol is Protocol.MULTIPLE_WRITER:
+                diff = make_diff(
+                    proc=self.pid,
+                    seq=seq,
+                    page=page,
+                    vc=self.vc,
+                    declared_ranges=ranges,
+                    twin=pte.twin,
+                    current=self.store.page_view(page) if self.materialized else None,
+                )
+                if diff is not None:
+                    rec.diffs[page] = diff
+                    self.stats.diffs_created += 1
+            pte.twin = None
+            pte.mode = AccessMode.READ
+            pte.applied.entries[self.pid] = seq
+        self.log.add(rec)
+        self.current_writes = {}
+        self.stats.intervals_closed += 1
+        notices = rec.notices()
+        for n in notices:
+            self.seen[(n.proc, n.seq, n.page)] = n
+            self._index_notice(n)
+        return notices
+
+    def sync_notices(self) -> List[WriteNotice]:
+        """Close the open interval and return all own notices the master
+        has not yet been told about (lock releases create intervals the
+        master never sees otherwise)."""
+        self.close_interval()
+        import bisect
+
+        last_sent = self._sent_to_master_seq
+        my_seq = self.vc.entries[self.pid]
+        bucket = self._seen_by_proc.get(self.pid, [])
+        start = bisect.bisect_left(bucket, (last_sent + 1, -1), key=lambda e: e[:2])
+        out = [entry[2] for entry in bucket[start:] if entry[0] <= my_seq]
+        self._sent_to_master_seq = my_seq
+        return out
+
+    @property
+    def wants_gc(self) -> bool:
+        """True when the interval log hit the configured limit (§4.1)."""
+        return len(self.log) >= self.cfg.dsm.gc_interval_limit
+
+    # ------------------------------------------------------------------
+    # barrier (client side; the manager lives on the master)
+    # ------------------------------------------------------------------
+    def barrier(self) -> Generator:
+        """TreadMarks barrier with write-notice exchange."""
+        t0 = self.sim.now
+        notices = self.sync_notices()
+        self.stats.barriers += 1
+        if self.is_master:
+            done = self.barrier_mgr.arrive_local(self, notices, self.wants_gc)
+            yield done
+        else:
+            size = self.notice_wire_bytes(len(notices)) + self.vc_wire_bytes + 8
+            self.send(
+                mk.BARRIER_ARRIVE,
+                TeamView.MASTER_PID,
+                {
+                    "pid": self.pid,
+                    "notices": notices,
+                    "vc": self.vc.copy(),
+                    "want_gc": self.wants_gc,
+                },
+                size=size,
+            )
+            msg = yield self.main_inbox.recv(match=lambda m: m.kind == mk.BARRIER_RELEASE)
+            self.apply_notices(msg.payload["notices"], msg.payload["vc"])
+            if msg.payload["gc"]:
+                yield from self.gc_participate()
+        self.stats.barrier_wait_time += self.sim.now - t0
+
+    # ------------------------------------------------------------------
+    # garbage collection participation
+    # ------------------------------------------------------------------
+    def gc_flush(self) -> Generator:
+        """Make our copies of pages we will own complete (flush phase)."""
+        from .gc import gc_new_owners
+
+        new_owners = gc_new_owners(self.seen.values())
+        for page, owner in sorted(new_owners.items()):
+            if owner != self.pid:
+                continue
+            pte = self._pte(page)
+            if not pte.valid:
+                raise ProtocolError(
+                    f"{self.name}: GC made us owner of page {page} we never wrote"
+                )
+            if pte.pending:
+                yield from self._fetch_pending(pte)
+        self._gc_pending_owners = new_owners
+
+    def gc_reset(self) -> None:
+        """Drop all consistency bookkeeping and start a new epoch."""
+        new_owners = getattr(self, "_gc_pending_owners", {})
+        self.owners.update(new_owners)
+        for pte in self.table:
+            pte.owner = self.owners.get(pte.page, pte.owner)
+            if not pte.readable:
+                pte.valid = False
+            pte.clear_pending()
+            pte.applied = VectorClock.zeros(self.team.nprocs)
+            pte.twin = None
+            pte.mode = AccessMode.NONE
+            # A fresh epoch restores the segment's protocol hint (pages
+            # demoted by transient write sharing become single-writer again).
+            pte.protocol = self.space.segment_of_page(pte.page).protocol
+        if self.current_writes:
+            raise ProtocolError(f"{self.name}: GC with an open write set")
+        self.log.clear()
+        self.seen.clear()
+        self._seen_by_proc.clear()
+        self.vc = VectorClock.zeros(self.team.nprocs)
+        self.epoch += 1
+        self._sent_to_master_seq = 0
+        self._lock_state.clear()
+        if self.lock_mgr is not None:
+            self.lock_mgr.reset()
+        self._gc_pending_owners = {}
+        self.stats.gcs += 1
+        self.sim.tracer.emit("dsm", "gc", f"{self.name} epoch={self.epoch}")
+
+    def gc_participate(self, ack: bool = False) -> Generator:
+        """Slave-side GC phase: flush, report done, await go, reset.
+
+        With ``ack`` (fork-point GC), a second GC_DONE confirms the reset —
+        the master must not rebuild the team while a slave still holds the
+        old epoch's state.
+        """
+        yield from self.gc_flush()
+        self.send(
+            mk.GC_DONE, TeamView.MASTER_PID, {"pid": self.pid, "phase": "flush"}, size=8
+        )
+        yield self.main_inbox.recv(match=lambda m: m.kind == mk.GC_GO)
+        self.gc_reset()
+        if ack:
+            self.send(
+                mk.GC_DONE,
+                TeamView.MASTER_PID,
+                {"pid": self.pid, "phase": "reset"},
+                size=8,
+            )
+
+    # ------------------------------------------------------------------
+    # locks (distributed queue, master as manager)
+    # ------------------------------------------------------------------
+    def _lock(self, lock_id: int) -> Dict[str, Any]:
+        state = self._lock_state.get(lock_id)
+        if state is None:
+            # The master conceptually holds (and has released) every lock at
+            # epoch start — it carries one release "token".  Tokens count
+            # completed tenures whose successor forward has not arrived yet:
+            # a forward can race past our release *and* our re-request, so
+            # matching forwards to releases needs explicit accounting.
+            master = self.is_master
+            state = {
+                "status": "released" if master else "idle",
+                "pending": None,
+                "tokens": 1 if master else 0,
+            }
+            self._lock_state[lock_id] = state
+        return state
+
+    def lock_acquire(self, lock_id: int) -> Generator:
+        """Acquire a TreadMarks lock (an LRC acquire)."""
+        t0 = self.sim.now
+        state = self._lock(lock_id)
+        if state["status"] in ("waiting", "held"):
+            raise DsmError(f"{self.name}: lock {lock_id} already requested/held")
+        state["status"] = "waiting"
+        self.send(
+            mk.LOCK_REQ,
+            TeamView.MASTER_PID,
+            {"lock": lock_id, "pid": self.pid, "vc": self.vc.copy()},
+            size=8 + self.vc_wire_bytes,
+        )
+        msg = yield self.main_inbox.recv(
+            match=lambda m: m.kind == mk.LOCK_GRANT and m.payload["lock"] == lock_id
+        )
+        self.apply_notices(msg.payload["notices"], msg.payload["vc"])
+        state["status"] = "held"
+        self.stats.locks_acquired += 1
+        self.stats.lock_wait_time += self.sim.now - t0
+
+    def lock_release(self, lock_id: int) -> None:
+        """Release a lock (an LRC release: closes the interval)."""
+        state = self._lock(lock_id)
+        if state["status"] != "held":
+            raise DsmError(f"{self.name}: releasing lock {lock_id} it does not hold")
+        self.close_interval()
+        state["status"] = "released"
+        pending, state["pending"] = state["pending"], None
+        if pending is not None:
+            self._grant_lock(lock_id, pending["requester"], pending["vc"])
+        else:
+            # no successor known yet: bank the release for the forward that
+            # is still on its way (or may never come this epoch)
+            state["tokens"] += 1
+
+    def _grant_lock(self, lock_id: int, requester: int, requester_vc: VectorClock) -> None:
+        notices = self.notices_unknown_to(requester_vc)
+        size = 8 + self.notice_wire_bytes(len(notices)) + self.vc_wire_bytes
+        self.send(
+            mk.LOCK_GRANT,
+            requester,
+            {"lock": lock_id, "notices": notices, "vc": self.vc.copy()},
+            size=size,
+        )
+
+    def _on_lock_forward(self, msg: Message) -> Generator:
+        """The manager forwarded a lock request to us (last in the chain)."""
+        lock_id = msg.payload["lock"]
+        requester = msg.payload["requester"]
+        requester_vc = msg.payload["vc"]
+        yield from self.node.service(self.cfg.network.lock_service)
+        state = self._lock(lock_id)
+        if state["tokens"] > 0:
+            # a completed tenure is waiting for exactly this forward (this
+            # also covers our own request chaining back to us, and the
+            # master's epoch-start conceptual release)
+            state["tokens"] -= 1
+            self._grant_lock(lock_id, requester, requester_vc)
+        elif state["status"] in ("waiting", "held"):
+            if state["pending"] is not None:
+                raise ProtocolError(f"{self.name}: two pending forwards for lock {lock_id}")
+            state["pending"] = {"requester": requester, "vc": requester_vc}
+        else:
+            raise ProtocolError(
+                f"{self.name}: forwarded lock {lock_id} with no tenure to match"
+            )
+        return
+        yield  # pragma: no cover - generator form for the dispatch table
+
+    # ------------------------------------------------------------------
+    # compute & data access helpers
+    # ------------------------------------------------------------------
+    def compute(self, seconds: float) -> Generator:
+        """Charge ``seconds`` of application CPU work on the current node."""
+        self.stats.compute_time += seconds
+        yield from self.node.compute(seconds)
+
+    def array(self, seg: SharedSegment) -> np.ndarray:
+        """Materialized view of a segment's local copy (shape/dtype applied)."""
+        if not self.materialized:
+            raise DsmError("array views are only available in materialized mode")
+        return self.store.array_view(seg)
+
+    # ------------------------------------------------------------------
+    # migration support (urgent leaves)
+    # ------------------------------------------------------------------
+    def resident_image_bytes(self) -> int:
+        """Heap+stack image size moved by libckpt (§5.3).
+
+        The checkpoint image covers every *mapped* shared page (libckpt
+        dumps the heap; DSM mappings are part of it whether currently valid
+        or not) plus the runtime's own heap/stack overhead.  This matches
+        the paper's per-application migration costs, which correspond to
+        roughly the whole shared segment at 8.1 MB/s.
+        """
+        mapped_pages = len(self.table)
+        return (
+            mapped_pages * self.cfg.dsm.page_size
+            + self.cfg.migration.image_overhead_bytes
+        )
+
+    def adapt_reset(self, new_pid: int, owner_remap: Dict[int, int]) -> None:
+        """Re-identify this process after an adaptation (§4.1).
+
+        Must follow a GC (all clocks zero, no pending notices).  ``new_pid``
+        is the reassigned process id; ``owner_remap`` maps old owner pids to
+        new ones for every page-owner reference we hold.
+        """
+        if self.seen or self.current_writes or len(self.log):
+            raise ProtocolError(f"{self.name}: adapt_reset without a preceding GC")
+        self.pid = new_pid
+        width = self.team.nprocs
+        self.vc = VectorClock.zeros(width)
+        self._sent_to_master_seq = 0
+        self.owners = {
+            page: owner_remap.get(owner, TeamView.MASTER_PID)
+            for page, owner in self.owners.items()
+        }
+        for pte in self.table:
+            pte.owner = owner_remap.get(pte.owner, TeamView.MASTER_PID)
+            pte.applied = VectorClock.zeros(width)
+        self.table.proc_name = self.name
+
+    def terminate(self) -> None:
+        """Tear down after leaving the computation."""
+        if self._server_proc is not None and self._server_proc.alive:
+            self._server_proc.interrupt("process left")
+        self.node.remove_process()
+
+    def move_to_node(self, new_node) -> None:
+        """Transplant this process onto ``new_node`` (after image copy)."""
+        self.node.remove_process()
+        self.node = new_node
+        new_node.add_process()
+        self.start_server()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DsmProcess {self.name} on node {self.node.node_id}>"

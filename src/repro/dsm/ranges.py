@@ -1,0 +1,71 @@
+"""Byte-range arithmetic used for write sets and diff sizing.
+
+A *range list* is a sorted list of disjoint, non-adjacent ``(start, end)``
+half-open byte intervals within one page.  Write sets are tracked as range
+lists so that traced-mode runs (no real bytes stored) still produce exact
+diff sizes, and materialized-mode runs can cross-check real twin/page
+comparisons against the declared ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+Range = Tuple[int, int]
+
+
+def normalize(ranges: Iterable[Range]) -> List[Range]:
+    """Sort and coalesce overlapping/adjacent ranges; drop empties."""
+    out: List[Range] = []
+    for start, end in sorted(r for r in ranges if r[0] < r[1]):
+        if out and start <= out[-1][1]:
+            prev = out[-1]
+            out[-1] = (prev[0], max(prev[1], end))
+        else:
+            out.append((start, end))
+    return out
+
+
+def merge(a: Iterable[Range], b: Iterable[Range]) -> List[Range]:
+    """Union of two range lists."""
+    return normalize(list(a) + list(b))
+
+
+def total_bytes(ranges: Iterable[Range]) -> int:
+    """Sum of range lengths."""
+    return sum(end - start for start, end in ranges)
+
+
+def clip(ranges: Iterable[Range], lo: int, hi: int) -> List[Range]:
+    """Intersect a range list with the window ``[lo, hi)``."""
+    out = []
+    for start, end in ranges:
+        s, e = max(start, lo), min(end, hi)
+        if s < e:
+            out.append((s, e))
+    return out
+
+
+def intersects(a: Iterable[Range], b: Iterable[Range]) -> bool:
+    """True if any byte is in both range lists (assumed normalized)."""
+    a = list(a)
+    b = list(b)
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i][1] <= b[j][0]:
+            i += 1
+        elif b[j][1] <= a[i][0]:
+            j += 1
+        else:
+            return True
+    return False
+
+
+def diff_wire_size(ranges: Iterable[Range], run_header_bytes: int = 8) -> int:
+    """Wire size of a diff covering ``ranges``.
+
+    TreadMarks encodes a diff as a sequence of (offset, length, data) runs;
+    we charge ``run_header_bytes`` per run plus the raw bytes.
+    """
+    ranges = list(ranges)
+    return total_bytes(ranges) + run_header_bytes * len(ranges)

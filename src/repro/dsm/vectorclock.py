@@ -1,0 +1,72 @@
+"""Vector timestamps for lazy release consistency.
+
+Every process increments its own entry when it closes an *interval* (at a
+release: barrier arrival or lock release).  Happens-before between
+intervals is vector-clock dominance.  Garbage collection (§4.1) discards
+all interval bookkeeping, so clocks are reset at every GC *epoch* — this is
+the property the adaptive system exploits to keep adaptation cheap, and it
+also means a clock only ever spans one epoch with a fixed team size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class VectorClock:
+    """A fixed-width vector timestamp."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Iterable[int]):
+        self.entries = list(entries)
+
+    @classmethod
+    def zeros(cls, width: int) -> "VectorClock":
+        """The zero clock for a team of ``width`` processes."""
+        return cls([0] * width)
+
+    @property
+    def width(self) -> int:
+        return len(self.entries)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.entries)
+
+    def tick(self, slot: int) -> None:
+        """Increment our own entry (interval close)."""
+        self.entries[slot] += 1
+
+    def merge(self, other: "VectorClock") -> None:
+        """Elementwise max with ``other`` (seen-knowledge union)."""
+        if other.width != self.width:
+            raise ValueError(f"clock width mismatch: {self.width} vs {other.width}")
+        self.entries = [max(a, b) for a, b in zip(self.entries, other.entries)]
+
+    def covers(self, other: "VectorClock") -> bool:
+        """True if every entry >= the other's (other happened-before-or-equal)."""
+        if other.width != self.width:
+            raise ValueError(f"clock width mismatch: {self.width} vs {other.width}")
+        return all(a >= b for a, b in zip(self.entries, other.entries))
+
+    def covers_interval(self, proc: int, seq: int) -> bool:
+        """True if interval ``seq`` of process ``proc`` is reflected here."""
+        return self.entries[proc] >= seq
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.entries))
+
+    def __repr__(self) -> str:
+        return f"VC{self.entries}"
+
+    def sort_key(self) -> Sequence[int]:
+        """Deterministic total order consistent with happens-before.
+
+        Concurrent clocks are ordered by entry tuple; concurrent intervals
+        in our protocol have disjoint write ranges, so any consistent order
+        is a correct diff application order.
+        """
+        return (sum(self.entries), tuple(self.entries))

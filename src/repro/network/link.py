@@ -1,0 +1,70 @@
+"""Directional link occupancy model.
+
+Each node of the switched Ethernet has two directional links to the switch
+(an uplink and a downlink).  Full duplex means the two directions never
+contend with each other; *switched* means links of different nodes never
+contend either.  A link serializes its own transmissions: the wire time of
+a message occupies the link, so e.g. a master receiving pages from seven
+slaves is limited by its downlink — exactly the "max traffic per link"
+bottleneck §5.4 identifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Link:
+    """One direction of one switch port."""
+
+    name: str
+    #: Wire seconds per payload byte.
+    per_byte: float
+    #: Time up to which the link is occupied by earlier transmissions.
+    busy_until: float = 0.0
+    #: Total payload+header bytes carried (lifetime).
+    bytes_carried: int = 0
+    #: Total messages carried (lifetime).
+    messages_carried: int = 0
+    #: Accumulated busy time (for utilization reporting).
+    busy_time: float = field(default=0.0)
+
+    def wire_time(self, nbytes: int) -> float:
+        """Pure transmission time of ``nbytes`` on this link."""
+        return nbytes * self.per_byte
+
+    def reserve(self, earliest: float, nbytes: int) -> tuple[float, float]:
+        """Occupy the link for ``nbytes`` starting no earlier than ``earliest``.
+
+        Returns ``(start, end)`` of the transmission slot.
+        """
+        start = max(earliest, self.busy_until)
+        end = start + self.wire_time(nbytes)
+        self.busy_until = end
+        self.busy_time += end - start
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        return start, end
+
+    def occupy(self, start: float, nbytes: int) -> float:
+        """Occupy the link from a precomputed ``start`` (joint reservation).
+
+        The switch reserves uplink and downlink for the *same* slot
+        (cut-through forwarding), so ``start`` is the max of both links'
+        ``busy_until`` and the send time.  Returns the slot end.
+        """
+        if start < self.busy_until - 1e-12:
+            raise ValueError(
+                f"link {self.name}: occupy start {start} before busy_until {self.busy_until}"
+            )
+        end = start + self.wire_time(nbytes)
+        self.busy_until = end
+        self.busy_time += end - start
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        return end
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` this link spent transmitting."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,94 @@
+"""Per-node network interface.
+
+A :class:`Nic` separates incoming *requests* (served by the node's handler
+loop) from *replies* (routed back to the coroutine that issued the matching
+request).  This mirrors TreadMarks, where requests arrive via SIGIO at any
+time while the main thread may itself be blocked waiting for a reply.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import NetworkError
+from ..simcore import Channel, Simulator, Waitable
+from .message import Message, next_req_id
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .switch import Switch
+
+
+class Nic:
+    """Network interface of one node."""
+
+    def __init__(self, sim: Simulator, switch: "Switch", node_id: int):
+        self.sim = sim
+        self.switch = switch
+        self.node_id = node_id
+        #: Incoming requests, consumed by the node's server loop.
+        self.inbox = Channel(sim, name=f"nic{node_id}.inbox")
+        #: Incoming replies, matched by ``req_id``.
+        self.replies = Channel(sim, name=f"nic{node_id}.replies")
+        self.attached = True
+        #: Outstanding reliable request ids (duplicate replies are dropped).
+        self._pending_reqs: set = set()
+
+    # -- sending ----------------------------------------------------------
+    def send(self, msg: Message) -> float:
+        """Transmit ``msg``; returns its scheduled arrival time."""
+        if not self.attached:
+            raise NetworkError(f"node {self.node_id} NIC is detached")
+        if msg.src != self.node_id:
+            raise NetworkError(
+                f"message src {msg.src} sent through NIC of node {self.node_id}"
+            )
+        return self.switch.transmit(msg)
+
+    def request(self, msg: Message) -> Waitable:
+        """Send a request and return a waitable for its reply.
+
+        Usage inside a simulated process::
+
+            reply = yield nic.request(Message(PAGE_REQ, src=me, dst=owner, ...))
+        """
+        if msg.req_id is None:
+            msg.req_id = next_req_id()
+        rid = msg.req_id
+        if self.switch.loss is not None and self.switch.loss.rate > 0:
+            from .reliability import ReliableRequest
+
+            self._pending_reqs.add(rid)
+            self.send(msg)
+            return ReliableRequest(self, msg)
+        self.send(msg)
+        return self.replies.recv(match=lambda m, rid=rid: m.req_id == rid)
+
+    def wait_reply(self, req_id: int) -> Waitable:
+        """Waitable for the reply to an already-sent request."""
+        return self.replies.recv(match=lambda m: m.req_id == req_id)
+
+    # -- delivery (called by the switch) -----------------------------------
+    def _complete_request(self, req_id: int) -> None:
+        self._pending_reqs.discard(req_id)
+
+    def deliver(self, msg: Message) -> None:
+        """Route an arriving message to the proper queue."""
+        if msg.is_reply:
+            if (
+                self.switch.loss is not None
+                and self.switch.loss.rate > 0
+                and msg.req_id is not None
+                and msg.req_id not in self._pending_reqs
+            ):
+                return  # duplicate reply to a retransmitted request
+            self.replies.put(msg)
+        else:
+            self.inbox.put(msg)
+
+    def detach(self) -> None:
+        """Disconnect from the switch (node left the pool)."""
+        self.attached = False
+
+    def reattach(self) -> None:
+        """Reconnect (node re-joined)."""
+        self.attached = True

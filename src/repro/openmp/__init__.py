@@ -1,0 +1,32 @@
+"""OpenMP front end: program model, schedules, and the SUIF-style
+lowering to TreadMarks fork/join code."""
+
+from .compiler import compile_openmp
+from .dynamic import DynamicLoop, Reduction
+from .program import BodyFn, OmpApi, OmpProgram, ParallelFor
+from .transform import strip_mine
+from .schedule import (
+    InterleavedSchedule,
+    Schedule,
+    StaticChunkSchedule,
+    StaticSchedule,
+    WeightedSchedule,
+    coverage,
+)
+
+__all__ = [
+    "BodyFn",
+    "InterleavedSchedule",
+    "OmpApi",
+    "OmpProgram",
+    "ParallelFor",
+    "Schedule",
+    "StaticChunkSchedule",
+    "StaticSchedule",
+    "WeightedSchedule",
+    "DynamicLoop",
+    "Reduction",
+    "compile_openmp",
+    "strip_mine",
+    "coverage",
+]

@@ -1,0 +1,189 @@
+"""OpenMP ``schedule(dynamic)`` and ``reduction`` support.
+
+Static schedules partition the iteration space arithmetically; *dynamic*
+scheduling doles out chunks from a shared counter protected by a
+TreadMarks lock — exactly how shared-memory OpenMP runtimes implement it,
+and a natural fit for the DSM since the counter is just one more shared
+page.  Under adaptation nothing changes: the counter is reset by the
+master before each fork, and however many processes the next fork has,
+they drain the same queue.
+
+``reduction`` gives each process a private accumulator slot in a shared
+array (one cache...page-padded slot per possible pid) and combines the
+slots in sequential master code after the join — the standard
+tree-free OpenMP lowering for small reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+import numpy as np
+
+from ..dsm import Protocol, SharedArray
+from ..errors import ConfigurationError
+from .program import OmpProgram, ParallelFor
+
+#: Lock ids below this are reserved for user code; dynamic loops allocate
+#: from here upward.
+_DYN_LOCK_BASE = 1 << 20
+
+
+class DynamicLoop:
+    """A ``#pragma OMP for schedule(dynamic, chunk)`` construct.
+
+    Usage::
+
+        dyn = DynamicLoop(rt, "work", iterations=1000, chunk=16, body=body)
+        loops = [dyn.parallel_for()]
+        # driver:  yield from dyn.enter(omp)   # resets the queue, forks
+
+    ``body(ctx, lo, hi, args)`` is invoked for each chunk a process grabs.
+    """
+
+    _counter = 0
+
+    def __init__(
+        self,
+        rt,
+        name: str,
+        iterations: int,
+        chunk: int,
+        body: Callable[..., Generator],
+        max_procs: int = 64,
+    ):
+        if chunk < 1:
+            raise ConfigurationError("chunk must be >= 1")
+        if iterations < 0:
+            raise ConfigurationError("negative iteration count")
+        self.name = name
+        self.iterations = iterations
+        self.chunk = chunk
+        self.body = body
+        DynamicLoop._counter += 1
+        self.lock_id = _DYN_LOCK_BASE + DynamicLoop._counter
+        # the shared work-queue head: one int64 (its own page)
+        seg = rt.malloc(
+            f"__omp_dyn_{name}_{DynamicLoop._counter}",
+            shape=(8,),
+            dtype="int64",
+            protocol=Protocol.MULTIPLE_WRITER,
+        )
+        self.head = SharedArray(seg)
+        #: iterations grabbed per pid (observability / load-balance checks)
+        self.grabbed: dict = {}
+        self._traced_head = 0
+
+    # -- construct pieces ------------------------------------------------
+    def parallel_for(self) -> ParallelFor:
+        """The declared construct: every process runs the drain loop once."""
+        return ParallelFor(
+            self.name,
+            lambda args: 1 << 20,  # large enough for any team size
+            self._drain_entry,
+            schedule=_EveryProcOnce(),
+        )
+
+    def _drain_entry(self, ctx, lo, hi, args) -> Generator:
+        yield from self._drain(ctx, args)
+
+    def _drain(self, ctx, args: Any) -> Generator:
+        """Grab chunks off the shared queue until it runs dry."""
+        mine = 0
+        while True:
+            yield from ctx.lock(self.lock_id)
+            yield from ctx.access(
+                self.head.seg,
+                reads=self.head.elements(0, 1),
+                writes=self.head.elements(0, 1),
+            )
+            if ctx.materialized:
+                lo = int(self.head.view(ctx)[0])
+                self.head.view(ctx)[0] = min(lo + self.chunk, self.iterations)
+            else:
+                # traced mode: model the same number of queue operations
+                lo = self._traced_head
+                self._traced_head = min(lo + self.chunk, self.iterations)
+            ctx.unlock(self.lock_id)
+            if lo >= self.iterations:
+                break
+            hi = min(lo + self.chunk, self.iterations)
+            mine += hi - lo
+            yield from self.body(ctx, lo, hi, args)
+        self.grabbed[ctx.pid] = self.grabbed.get(ctx.pid, 0) + mine
+
+    def enter(self, omp) -> Generator:
+        """Reset the queue (sequential master code), then fork the drain."""
+        ctx = omp.ctx
+        yield from ctx.access(
+            self.head.seg,
+            reads=self.head.elements(0, 1),
+            writes=self.head.elements(0, 1),
+        )
+        if ctx.materialized:
+            self.head.view(ctx)[0] = 0
+        self._traced_head = 0
+        yield from omp.parallel_for(self.name)
+
+
+class _EveryProcOnce:
+    """A schedule that gives every process exactly one unit of work."""
+
+    def chunks(self, n_iterations: int, pid: int, nprocs: int):
+        return [(pid, pid + 1)]
+
+
+class Reduction:
+    """An ``omp reduction`` helper: padded per-pid slots + master combine.
+
+    ``op`` is a binary numpy ufunc-compatible callable; ``identity`` its
+    neutral element.  One page per slot avoids all write sharing.
+    """
+
+    _counter = 0
+
+    def __init__(self, rt, name: str, op=np.add, identity: float = 0.0,
+                 max_procs: int = 64):
+        Reduction._counter += 1
+        self.op = op
+        self.identity = identity
+        self.max_procs = max_procs
+        # one 4096-byte page (512 float64) per slot: no false sharing
+        seg = rt.malloc(
+            f"__omp_red_{name}_{Reduction._counter}",
+            shape=(max_procs, 512),
+            dtype="float64",
+            protocol=Protocol.SINGLE_WRITER,
+        )
+        self.slots = SharedArray(seg)
+        self.result: Optional[float] = None
+
+    def reset(self, ctx) -> Generator:
+        """Master: clear all slots before the parallel construct."""
+        yield from ctx.access(self.slots.seg, writes=self.slots.full())
+        if ctx.materialized:
+            self.slots.view(ctx)[:, 0] = self.identity
+
+    def contribute(self, ctx, value: float) -> Generator:
+        """Worker: accumulate into the private slot (no locking needed)."""
+        pid = ctx.pid
+        if pid >= self.max_procs:
+            raise ConfigurationError("reduction slot table too small")
+        yield from ctx.access(
+            self.slots.seg,
+            reads=self.slots.rows(pid, pid + 1),
+            writes=self.slots.rows(pid, pid + 1),
+        )
+        if ctx.materialized:
+            v = self.slots.view(ctx)
+            v[pid, 0] = self.op(v[pid, 0], value)
+
+    def combine(self, ctx, nprocs: Optional[int] = None) -> Generator:
+        """Master (after the join): fold the slots into ``self.result``."""
+        n = nprocs if nprocs is not None else ctx.nprocs
+        yield from ctx.access(self.slots.seg, reads=self.slots.rows(0, n))
+        if ctx.materialized:
+            acc = self.identity
+            for pid in range(n):
+                acc = self.op(acc, self.slots.view(ctx)[pid, 0])
+            self.result = float(acc)

@@ -1,0 +1,91 @@
+"""The OpenMP-level program model.
+
+An :class:`OmpProgram` is what the user writes: declared parallel loops
+(the ``#pragma OMP for`` constructs of Figure 1) plus a driver of
+sequential master code that enters them.  The driver only names loops —
+it never mentions process counts or partitions; those appear when the
+compiler (:mod:`.compiler`) lowers the program to TreadMarks fork/join
+form, which is what makes the adaptivity transparent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Union
+
+from ..errors import ConfigurationError
+from .schedule import Schedule, StaticSchedule
+
+#: A loop body covering iterations ``[lo, hi)``:
+#: ``body(ctx, lo, hi, args) -> generator`` declaring accesses & compute.
+BodyFn = Callable[..., Generator]
+#: Iteration count: fixed, or computed from the fork args.
+IterCount = Union[int, Callable[[Any], int]]
+
+
+@dataclass(frozen=True)
+class ParallelFor:
+    """One ``#pragma OMP for`` construct."""
+
+    name: str
+    iterations: IterCount
+    body: BodyFn
+    schedule: Schedule = field(default_factory=StaticSchedule)
+
+    def iteration_count(self, args: Any) -> int:
+        n = self.iterations(args) if callable(self.iterations) else self.iterations
+        if n < 0:
+            raise ConfigurationError(f"loop {self.name!r}: negative trip count")
+        return int(n)
+
+
+class OmpApi:
+    """What the sequential (master) driver of an OpenMP program sees."""
+
+    def __init__(self, master_api, program: "OmpProgram"):
+        self._api = master_api
+        self._program = program
+        self.ctx = master_api.ctx
+
+    @property
+    def num_procs(self) -> int:
+        """``omp_get_num_threads`` at the next construct."""
+        return self._api.nprocs
+
+    def parallel_for(self, name: str, args: Any = None) -> Generator:
+        """Enter a declared parallel construct (a fork/join)."""
+        if name not in self._program.loop_names:
+            raise ConfigurationError(f"undeclared parallel loop {name!r}")
+        yield from self._api.fork_join(name, args)
+
+    def serial(self, fn: Callable) -> Generator:
+        """Sequential master-only code between constructs."""
+        yield from self._api.seq(fn)
+
+
+@dataclass
+class OmpProgram:
+    """A complete OpenMP application."""
+
+    name: str
+    loops: List[ParallelFor]
+    #: ``driver(omp: OmpApi) -> generator`` — the sequential control flow.
+    driver: Callable[[OmpApi], Generator]
+    #: The OpenMP switch that inhibits adaptivity (§4.4): when False the
+    #: adaptive runtime never changes the team during this program.
+    adaptable: bool = True
+
+    def __post_init__(self) -> None:
+        names = [loop.name for loop in self.loops]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate loop names in program {self.name!r}")
+
+    @property
+    def loop_names(self) -> set:
+        return {loop.name for loop in self.loops}
+
+    def loop(self, name: str) -> ParallelFor:
+        for candidate in self.loops:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(f"no loop named {name!r}")

@@ -1,0 +1,127 @@
+"""Iteration-space scheduling (the partitioning code the compiler emits).
+
+The crucial property for transparent adaptivity (§2, §7): the chunk
+computation depends only on ``(pid, nprocs)`` and is re-executed at every
+fork, so changing the team size re-partitions both iterations and — via
+the DSM — data, with no application involvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+
+Chunk = Tuple[int, int]
+
+
+class Schedule:
+    """Base class: maps an iteration count to per-process chunks."""
+
+    def chunks(self, n_iterations: int, pid: int, nprocs: int) -> List[Chunk]:
+        raise NotImplementedError
+
+    def _check(self, n_iterations: int, pid: int, nprocs: int) -> None:
+        if nprocs < 1:
+            raise ConfigurationError("nprocs must be >= 1")
+        if not 0 <= pid < nprocs:
+            raise ConfigurationError(f"pid {pid} outside team of {nprocs}")
+        if n_iterations < 0:
+            raise ConfigurationError("negative iteration count")
+
+
+@dataclass(frozen=True)
+class StaticSchedule(Schedule):
+    """OpenMP ``schedule(static)``: one contiguous block per process.
+
+    Remainder iterations go to the lowest pids, matching the block rule
+    used for data partitioning (``SharedArray.block``).
+    """
+
+    def chunks(self, n_iterations: int, pid: int, nprocs: int) -> List[Chunk]:
+        self._check(n_iterations, pid, nprocs)
+        base, extra = divmod(n_iterations, nprocs)
+        lo = pid * base + min(pid, extra)
+        hi = lo + base + (1 if pid < extra else 0)
+        return [(lo, hi)] if hi > lo else []
+
+
+@dataclass(frozen=True)
+class StaticChunkSchedule(Schedule):
+    """OpenMP ``schedule(static, chunk)``: round-robin fixed-size chunks."""
+
+    chunk: int
+
+    def __post_init__(self) -> None:
+        if self.chunk < 1:
+            raise ConfigurationError("chunk must be >= 1")
+
+    def chunks(self, n_iterations: int, pid: int, nprocs: int) -> List[Chunk]:
+        self._check(n_iterations, pid, nprocs)
+        out = []
+        start = pid * self.chunk
+        stride = nprocs * self.chunk
+        while start < n_iterations:
+            out.append((start, min(start + self.chunk, n_iterations)))
+            start += stride
+        return out
+
+
+@dataclass(frozen=True)
+class InterleavedSchedule(Schedule):
+    """Cyclic (``static, 1``) distribution, expressed as unit chunks."""
+
+    def chunks(self, n_iterations: int, pid: int, nprocs: int) -> List[Chunk]:
+        self._check(n_iterations, pid, nprocs)
+        return [(i, i + 1) for i in range(pid, n_iterations, nprocs)]
+
+
+@dataclass(frozen=True)
+class WeightedSchedule(Schedule):
+    """Block partition proportional to per-process weights.
+
+    For heterogeneous NOWs (nodes of different speeds): iteration counts
+    follow the weight vector, so a half-speed node gets half the block.
+    Like every schedule here it is a pure function of (pid, nprocs) plus
+    the weights, so it re-partitions transparently at every fork; weights
+    beyond ``nprocs`` are ignored, missing ones default to 1.0.
+    """
+
+    weights: tuple
+
+    def __post_init__(self) -> None:
+        if any(w <= 0 for w in self.weights):
+            raise ConfigurationError("weights must be positive")
+
+    def _weight(self, pid: int) -> float:
+        return self.weights[pid] if pid < len(self.weights) else 1.0
+
+    def chunks(self, n_iterations: int, pid: int, nprocs: int) -> List[Chunk]:
+        self._check(n_iterations, pid, nprocs)
+        total = sum(self._weight(p) for p in range(nprocs))
+        # largest-remainder apportionment: exact, deterministic, dense
+        raw = [self._weight(p) * n_iterations / total for p in range(nprocs)]
+        base = [int(r) for r in raw]
+        leftover = n_iterations - sum(base)
+        order = sorted(
+            range(nprocs), key=lambda p: (-(raw[p] - base[p]), p)
+        )
+        for p in order[:leftover]:
+            base[p] += 1
+        lo = sum(base[:pid])
+        hi = lo + base[pid]
+        return [(lo, hi)] if hi > lo else []
+
+
+def coverage(schedule: Schedule, n_iterations: int, nprocs: int) -> List[int]:
+    """How many times each iteration is assigned across the team.
+
+    A correct schedule yields all-ones; used by property tests.
+    """
+    counts = [0] * n_iterations
+    for pid in range(nprocs):
+        for lo, hi in schedule.chunks(n_iterations, pid, nprocs):
+            for i in range(lo, hi):
+                counts[i] += 1
+    return counts

@@ -1,0 +1,95 @@
+"""Compiler transformations on OpenMP programs (§7).
+
+"The compiler can control the frequency of adaptation points by
+transformations similar to loop tiling or strip mining. ... the compiler
+can generate code that determines at runtime the trip counts or tiling of
+the loops, subject to the characteristics of the execution environment."
+
+:func:`strip_mine` rewrites a driver's single ``parallel_for`` entry into
+``k`` successive fork/joins over iteration strips.  Each strip boundary
+is a fork boundary — i.e. an adaptation point — so a leave request is
+serviced up to ``k``× sooner, at the cost of ``k-1`` extra fork/join
+synchronizations per construct.  The ablation bench
+(``benchmarks/test_strip_mining.py``) quantifies the trade.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..errors import ConfigurationError
+from .program import OmpProgram, ParallelFor
+
+
+def strip_mine(program: OmpProgram, loop_name: str, strips: int) -> OmpProgram:
+    """Split ``loop_name`` into ``strips`` successive parallel constructs.
+
+    The returned program declares one loop per strip; its driver is the
+    original driver with every entry into ``loop_name`` replaced by the
+    strip sequence.  Semantics are preserved for loops whose iterations
+    are independent (the OpenMP contract for a work-shared ``for``).
+    """
+    if strips < 1:
+        raise ConfigurationError("strips must be >= 1")
+    original = program.loop(loop_name)
+    if strips == 1:
+        return program
+
+    def strip_loop(index: int) -> ParallelFor:
+        def iterations(args) -> int:
+            # runtime trip count of this strip (§7: determined at runtime)
+            n = original.iteration_count(args)
+            base, extra = divmod(n, strips)
+            return base + (1 if index < extra else 0)
+
+        def body(ctx, lo, hi, args) -> Generator:
+            n = original.iteration_count(args)
+            offset = _strip_offset(n, strips, index)
+            yield from original.body(ctx, offset + lo, offset + hi, args)
+
+        return ParallelFor(
+            f"{loop_name}#strip{index}",
+            iterations,
+            body,
+            schedule=original.schedule,
+        )
+
+    strip_loops = [strip_loop(i) for i in range(strips)]
+    other_loops = [l for l in program.loops if l.name != loop_name]
+
+    class _StripApi:
+        """Driver shim: entering the original loop runs all strips."""
+
+        def __init__(self, omp):
+            self._omp = omp
+            self.ctx = omp.ctx
+
+        @property
+        def num_procs(self):
+            return self._omp.num_procs
+
+        def parallel_for(self, name, args=None):
+            if name == loop_name:
+                for strip in strip_loops:
+                    yield from self._omp.parallel_for(strip.name, args)
+            else:
+                yield from self._omp.parallel_for(name, args)
+
+        def serial(self, fn):
+            yield from self._omp.serial(fn)
+
+    def driver(omp) -> Generator:
+        yield from program.driver(_StripApi(omp))
+
+    return OmpProgram(
+        name=f"{program.name}[strip-mined x{strips}]",
+        loops=other_loops + strip_loops,
+        driver=driver,
+        adaptable=program.adaptable,
+    )
+
+
+def _strip_offset(n: int, strips: int, index: int) -> int:
+    """First global iteration of strip ``index`` (remainder to low strips)."""
+    base, extra = divmod(n, strips)
+    return index * base + min(index, extra)

@@ -1,0 +1,92 @@
+"""Point-to-point mailboxes for simulated processes.
+
+A :class:`Channel` is an unbounded FIFO of messages.  ``recv()`` returns a
+waitable; if a message is queued the receiver resumes immediately (at the
+current simulated time), otherwise it parks until ``put`` is called.
+Multiple receivers are served in FIFO order, one message each.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .process import Callback, Waitable
+from .simulator import Simulator
+
+
+class _Recv(Waitable):
+    """Waitable handed out by :meth:`Channel.recv`."""
+
+    def __init__(self, channel: "Channel", match: Optional[Callable[[Any], bool]]):
+        self._channel = channel
+        self._match = match
+        self._callback: Optional[Callback] = None
+
+    def subscribe(self, callback: Callback) -> None:
+        self._callback = callback
+        self._channel._subscribe(self)
+
+    def unsubscribe(self, callback: Callback) -> None:
+        self._callback = None
+        self._channel._unsubscribe(self)
+
+    def _matches(self, item: Any) -> bool:
+        return self._match is None or self._match(item)
+
+    def _deliver(self, item: Any) -> None:
+        assert self._callback is not None
+        cb, self._callback = self._callback, None
+        self._channel._sim._queue.push(self._channel._sim.now, lambda: cb(item, None))
+
+
+class Channel:
+    """Unbounded FIFO message queue usable from simulated processes."""
+
+    def __init__(self, sim: Simulator, name: str = "chan"):
+        self._sim = sim
+        self.name = name
+        self._items: deque = deque()
+        self._waiters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking a matching waiter if one is parked."""
+        for i, waiter in enumerate(self._waiters):
+            if waiter._matches(item):
+                del self._waiters[i]
+                waiter._deliver(item)
+                return
+        self._items.append(item)
+
+    def recv(self, match: Optional[Callable[[Any], bool]] = None) -> Waitable:
+        """Waitable yielding the next (optionally matching) message."""
+        return _Recv(self, match)
+
+    def try_recv(self, match: Optional[Callable[[Any], bool]] = None) -> Any:
+        """Non-blocking receive; returns ``None`` when nothing matches."""
+        for i, item in enumerate(self._items):
+            if match is None or match(item):
+                del self._items[i]
+                return item
+        return None
+
+    # -- internal ---------------------------------------------------------
+    def _subscribe(self, recv: _Recv) -> None:
+        if recv._callback is None:
+            raise SimulationError("recv subscribed without callback")
+        for i, item in enumerate(self._items):
+            if recv._matches(item):
+                del self._items[i]
+                recv._deliver(item)
+                return
+        self._waiters.append(recv)
+
+    def _unsubscribe(self, recv: _Recv) -> None:
+        try:
+            self._waiters.remove(recv)
+        except ValueError:
+            pass

@@ -1,0 +1,74 @@
+"""Event queue primitives for the discrete-event simulator.
+
+The queue is a binary heap ordered by ``(time, priority, seq)``.  ``seq`` is
+a monotonically increasing counter so that events scheduled earlier run
+earlier among equals — this makes every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+#: Default priority; lower runs first among events at the same time.
+NORMAL = 10
+#: Priority for bookkeeping that must run before normal events.
+URGENT = 0
+#: Priority for watchers that should observe the effects of normal events.
+LATE = 20
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Instances are ordered by ``(time, priority, seq)`` which is exactly the
+    heap order used by :class:`EventQueue`.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, action: Callable[[], None], priority: int = NORMAL) -> Event:
+        """Schedule ``action`` at absolute ``time`` and return the event."""
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        ev = Event(time=time, priority=priority, seq=next(self._seq), action=action)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or ``None``."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

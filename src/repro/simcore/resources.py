@@ -1,0 +1,108 @@
+"""Shared resources for simulated processes.
+
+:class:`Resource` models a capacity-limited server (e.g. a CPU or a disk)
+with FIFO queueing.  :class:`Store` is a produce/consume buffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from .process import Callback, Waitable
+from .simulator import Simulator
+
+
+class _Acquire(Waitable):
+    def __init__(self, resource: "Resource"):
+        self._resource = resource
+        self._callback: Optional[Callback] = None
+
+    def subscribe(self, callback: Callback) -> None:
+        self._callback = callback
+        self._resource._enqueue(self)
+
+    def unsubscribe(self, callback: Callback) -> None:
+        self._callback = None
+        self._resource._dequeue(self)
+
+    def _grant(self) -> None:
+        assert self._callback is not None
+        cb, self._callback = self._callback, None
+        sim = self._resource._sim
+        sim._queue.push(sim.now, lambda: cb(self._resource, None))
+
+
+class Resource:
+    """FIFO resource with integer capacity.
+
+    Usage from a process::
+
+        yield cpu.acquire()
+        try:
+            yield sim.timeout(work)
+        finally:
+            cpu.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "res"):
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: deque = deque()
+
+    def acquire(self) -> Waitable:
+        """Waitable granting one unit of the resource (FIFO order)."""
+        return _Acquire(self)
+
+    def release(self) -> None:
+        """Return one unit and grant it to the next waiter, if any."""
+        if self.in_use <= 0:
+            raise RuntimeError(f"resource {self.name!r} released more than acquired")
+        self.in_use -= 1
+        self._drain()
+
+    # -- internal ---------------------------------------------------------
+    def _enqueue(self, req: _Acquire) -> None:
+        self._queue.append(req)
+        self._drain()
+
+    def _dequeue(self, req: _Acquire) -> None:
+        try:
+            self._queue.remove(req)
+        except ValueError:
+            pass
+
+    def _drain(self) -> None:
+        while self._queue and self.in_use < self.capacity:
+            req = self._queue.popleft()
+            self.in_use += 1
+            req._grant()
+
+
+class Store:
+    """Unbounded buffer of items with blocking ``get``.
+
+    Semantically a :class:`~repro.simcore.channel.Channel` without message
+    matching; kept separate so model code reads naturally (items vs
+    messages).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        from .channel import Channel
+
+        self._chan = Channel(sim, name=name)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._chan)
+
+    def put(self, item: Any) -> None:
+        self._chan.put(item)
+
+    def get(self) -> Waitable:
+        return self._chan.recv()
+
+    def try_get(self) -> Any:
+        return self._chan.try_recv()

@@ -1,0 +1,126 @@
+"""The discrete-event simulator engine.
+
+A :class:`Simulator` owns the virtual clock and the event queue.  Model
+code runs inside generator-based processes (see :mod:`.process`); the
+engine advances time to the next scheduled event and executes it.  With a
+fixed seed the entire simulation is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..errors import DeadlockError, SimulationError
+from .events import EventQueue, NORMAL
+from .trace import Tracer
+
+
+class Simulator:
+    """Deterministic discrete-event simulation engine."""
+
+    def __init__(self, trace: bool = False):
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._processes: set = set()
+        self._failure: Optional[BaseException] = None
+        self.tracer = Tracer(self, enabled=trace)
+
+    # -- scheduling -----------------------------------------------------
+    def schedule(
+        self, delay: float, action: Callable[[], None], priority: int = NORMAL
+    ):
+        """Run ``action`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + delay, action, priority)
+
+    def at(self, time: float, action: Callable[[], None], priority: int = NORMAL):
+        """Run ``action`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past (t={time} < {self.now})")
+        return self._queue.push(time, action, priority)
+
+    # -- process management ----------------------------------------------
+    def process(
+        self,
+        gen: Generator,
+        name: str = "proc",
+        daemon: bool = False,
+    ):
+        """Start a new simulated process running ``gen``."""
+        from .process import SimProcess
+
+        return SimProcess(self, gen, name=name, daemon=daemon)
+
+    def timeout(self, delay: float, value: Any = None):
+        """A waitable that fires after ``delay`` simulated seconds."""
+        from .process import Timeout
+
+        return Timeout(self, delay, value)
+
+    def signal(self, name: str = ""):
+        """A fresh one-shot :class:`~repro.simcore.process.Signal`."""
+        from .process import Signal
+
+        return Signal(self, name)
+
+    def _register(self, proc) -> None:
+        self._processes.add(proc)
+
+    def _unregister(self, proc) -> None:
+        self._processes.discard(proc)
+
+    def _report_failure(self, proc, err: BaseException) -> None:
+        if self._failure is None:
+            self._failure = SimulationError(
+                f"process {proc.name!r} failed at t={self.now:.6f}: {err!r}"
+            )
+            self._failure.__cause__ = err
+
+    # -- execution --------------------------------------------------------
+    def run(self, until: Optional[float] = None, check_deadlock: bool = True) -> float:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Returns the final simulated time.  If ``check_deadlock`` and live
+        non-daemon processes remain while no event can ever wake them,
+        :class:`DeadlockError` is raised — this catches lost messages and
+        barrier mismatches in the DSM protocol immediately.
+        """
+        while True:
+            if self._failure is not None:
+                raise self._failure
+            nxt = self._queue.peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self.now = until
+                return self.now
+            ev = self._queue.pop()
+            assert ev is not None
+            if ev.time < self.now - 1e-12:
+                raise SimulationError("event queue went backwards in time")
+            self.now = max(self.now, ev.time)
+            ev.action()
+        if self._failure is not None:
+            raise self._failure
+        if check_deadlock:
+            stuck = [p for p in self._processes if p.alive and not p.daemon]
+            if stuck:
+                names = ", ".join(sorted(p.name for p in stuck))
+                raise DeadlockError(
+                    f"simulation deadlocked at t={self.now:.6f}; blocked: {names}"
+                )
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def step(self) -> bool:
+        """Execute a single event.  Returns False if the queue is empty."""
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        self.now = max(self.now, ev.time)
+        ev.action()
+        if self._failure is not None:
+            raise self._failure
+        return True

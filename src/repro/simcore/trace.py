@@ -1,0 +1,61 @@
+"""Structured event tracing.
+
+The tracer records ``(time, category, subject, detail)`` tuples.  It is
+used by the Figure-2 benchmark to reconstruct join / normal-leave /
+urgent-leave timelines, and by tests to assert protocol event ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    subject: str
+    detail: Any = None
+
+    def __str__(self) -> str:
+        extra = f" {self.detail}" if self.detail is not None else ""
+        return f"[{self.time:12.6f}] {self.category:<18} {self.subject}{extra}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = False):
+        self._sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, category: str, subject: str, detail: Any = None) -> None:
+        """Record an event at the current simulated time (if enabled)."""
+        if self.enabled:
+            self.records.append(TraceRecord(self._sim.now, category, subject, detail))
+
+    def select(
+        self, category: Optional[str] = None, subject: Optional[str] = None
+    ) -> list[TraceRecord]:
+        """Records filtered by exact category and/or subject."""
+        return [
+            r
+            for r in self.records
+            if (category is None or r.category == category)
+            and (subject is None or r.subject == subject)
+        ]
+
+    def categories(self) -> set[str]:
+        """All categories present in the trace."""
+        return {r.category for r in self.records}
+
+    def format(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        """Human-readable rendering of the trace."""
+        return "\n".join(str(r) for r in (records if records is not None else self.records))

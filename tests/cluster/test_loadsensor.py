@@ -1,0 +1,67 @@
+"""Tests for the load-sensor adapt-event daemon."""
+
+import pytest
+
+from repro.cluster import LoadSensor
+from repro.errors import ConfigurationError
+
+from ..core.test_adaptive_runtime import iterative_program
+from ..helpers import build_adaptive
+
+
+def test_invalid_configuration():
+    sim, rt, pool = build_adaptive(nprocs=2)
+    with pytest.raises(ConfigurationError):
+        LoadSensor(rt, [1], poll_interval=0)
+    with pytest.raises(ConfigurationError):
+        LoadSensor(rt, [1], leave_threshold=0.2, join_threshold=0.5)
+
+
+def test_high_load_triggers_leave():
+    sim, rt, pool = build_adaptive(nprocs=4)
+    prog = iterative_program(rt, n_iter=60, compute=0.05)
+    sensor = LoadSensor(rt, [3], poll_interval=0.1, grace=60.0)
+    sensor.install()
+    # the owner starts a heavy job on node 3 at t=0.4
+    sim.schedule(0.4, lambda: LoadSensor.set_external_load(pool.node(3), 0.9))
+    res = rt.run(prog)
+    actions = [(a, n) for _, a, n, _ in sensor.fired]
+    assert ("leave", 3) in actions
+    assert any(r.leaves == [3] for r in res.adapt_log)
+
+
+def test_load_drop_triggers_rejoin():
+    sim, rt, pool = build_adaptive(nprocs=4)
+    prog = iterative_program(rt, n_iter=80, compute=0.05)
+    sensor = LoadSensor(rt, [3], poll_interval=0.1, min_dwell=0.3, grace=60.0)
+    sensor.install()
+    sim.schedule(0.3, lambda: LoadSensor.set_external_load(pool.node(3), 0.9))
+    sim.schedule(1.0, lambda: LoadSensor.set_external_load(pool.node(3), 0.0))
+    res = rt.run(prog)
+    actions = [a for _, a, _, _ in sensor.fired]
+    assert actions[:2] == ["leave", "join"]
+    assert any(r.joins == [3] for r in res.adapt_log)
+
+
+def test_dwell_time_prevents_thrashing():
+    sim, rt, pool = build_adaptive(nprocs=4)
+    prog = iterative_program(rt, n_iter=60, compute=0.05)
+    sensor = LoadSensor(rt, [3], poll_interval=0.05, min_dwell=10.0, grace=60.0)
+    sensor.install()
+    # oscillating load: without dwell this would thrash
+    for i in range(20):
+        load = 0.9 if i % 2 == 0 else 0.0
+        sim.schedule(0.2 + 0.1 * i, lambda l=load: LoadSensor.set_external_load(pool.node(3), l))
+    rt.run(prog)
+    assert len(sensor.fired) <= 1
+
+
+def test_idle_nodes_unaffected():
+    sim, rt, pool = build_adaptive(nprocs=3, extra_nodes=1)
+    prog = iterative_program(rt, n_iter=30, compute=0.02)
+    sensor = LoadSensor(rt, [3], poll_interval=0.1, grace=60.0)
+    sensor.install()
+    res = rt.run(prog)
+    # node 3 is idle with zero load: the sensor joins it in
+    actions = [a for _, a, _, _ in sensor.fired]
+    assert actions[:1] == ["join"]

@@ -1,0 +1,108 @@
+"""Tests for trace-driven availability (record/replay/synthesis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import (
+    TraceEvent,
+    TraceReplay,
+    dump_trace,
+    parse_trace,
+    synthesize_workday,
+)
+from repro.errors import ConfigurationError
+
+from ..core.test_adaptive_runtime import iterative_program
+from ..helpers import build_adaptive
+
+
+class TestParsing:
+    def test_basic_lines(self):
+        events = parse_trace("0.5 leave 3 2.0\n1.25 join 3\n")
+        assert events == [
+            TraceEvent(0.5, "leave", 3, 2.0),
+            TraceEvent(1.25, "join", 3, None),
+        ]
+
+    def test_comments_and_blanks(self):
+        text = "# header\n\n0.1 join 2   # inline comment\n"
+        assert parse_trace(text) == [TraceEvent(0.1, "join", 2, None)]
+
+    def test_sorting(self):
+        events = parse_trace("2.0 join 1\n1.0 leave 1\n")
+        assert [e.time for e in events] == [1.0, 2.0]
+
+    def test_bad_action(self):
+        with pytest.raises(ConfigurationError):
+            parse_trace("0.1 crash 2\n")
+
+    def test_bad_field_count(self):
+        with pytest.raises(ConfigurationError):
+            parse_trace("0.1 join\n")
+
+    def test_bad_number(self):
+        with pytest.raises(ConfigurationError):
+            parse_trace("zero join 2\n")
+
+    def test_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            parse_trace("-1 join 2\n")
+
+    def test_roundtrip(self):
+        events = [
+            TraceEvent(0.25, "leave", 4, 3.0),
+            TraceEvent(0.75, "join", 4, None),
+        ]
+        assert parse_trace(dump_trace(events)) == events
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False, width=32),
+                st.sampled_from(["join", "leave"]),
+                st.integers(0, 31),
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, raw):
+        events = [TraceEvent(round(t, 6), a, n) for t, a, n in raw]
+        parsed = parse_trace(dump_trace(events))
+        assert sorted(parsed, key=lambda e: (e.time, e.node_id)) == sorted(
+            [TraceEvent(float(f"{e.time:.6f}"), e.action, e.node_id) for e in events],
+            key=lambda e: (e.time, e.node_id),
+        )
+
+
+class TestReplay:
+    def test_replay_drives_runtime(self):
+        sim, rt, pool = build_adaptive(nprocs=4)
+        prog = iterative_program(rt, n_iter=60, compute=0.02)
+        trace = parse_trace("0.05 leave 3 60.0\n0.4 join 3\n")
+        TraceReplay(rt, trace).install()
+        res = rt.run(prog)
+        assert res.adaptations == 2
+        kinds = [("leave" if r.leaves else "join") for r in res.adapt_log]
+        assert kinds == ["leave", "join"]
+
+
+class TestSynthesis:
+    def test_workday_shape(self):
+        events = parse_trace(dump_trace(synthesize_workday([4, 5, 6], day_length=10.0)))
+        assert all(0 <= e.time <= 10.0 for e in events)
+        # leave/join alternate per node
+        for node in (4, 5, 6):
+            seq = [e.action for e in events if e.node_id == node]
+            for a, b in zip(seq, seq[1:]):
+                assert a != b
+
+    def test_deterministic_per_seed(self):
+        a = synthesize_workday([1, 2], 20.0, seed=5)
+        b = synthesize_workday([1, 2], 20.0, seed=5)
+        c = synthesize_workday([1, 2], 20.0, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_bad_day_length(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_workday([1], 0.0)

@@ -1,0 +1,122 @@
+"""Unit-level tests for the barrier manager and error paths."""
+
+import pytest
+
+from repro.dsm import Protocol, SharedArray, TmkProgram
+from repro.errors import SimulationError
+
+from ..helpers import build_system, run_phases
+
+
+class TestBarrierErrors:
+    def test_double_arrival_detected(self):
+        """A process arriving twice at one round is a protocol violation."""
+        sim, rt, pool = build_system(nprocs=2)
+
+        def bad(ctx, pid, nprocs, args):
+            if pid == 0:
+                # feed a duplicate arrival directly into the manager
+                mgr = ctx.proc.barrier_mgr
+                done = mgr.arrive_local(ctx.proc, [], False)
+                with pytest.raises(Exception):
+                    mgr.arrive_local(ctx.proc, [], False)
+                # let the round finish for the slave's arrival
+            yield from ctx.barrier() if pid == 1 else ctx.compute(0)
+
+        # simpler: manager guards double arrival; verified via direct call
+        from repro.dsm.barrier import BarrierManager
+        from repro.errors import ProtocolError
+
+        master = rt.master
+        mgr = master.barrier_mgr
+        mgr.arrive_local(master, [], False)
+        with pytest.raises(ProtocolError):
+            mgr._record(master.pid, [], master.vc.copy(), False)
+
+    def test_arrive_local_requires_master(self):
+        from repro.errors import ProtocolError
+
+        sim, rt, pool = build_system(nprocs=2)
+        with pytest.raises(ProtocolError):
+            rt.master.barrier_mgr.arrive_local(rt.procs[1], [], False)
+
+    def test_rounds_increment(self):
+        sim, rt, pool = build_system(nprocs=3)
+
+        def region(ctx, pid, nprocs, args):
+            yield from ctx.barrier()
+            yield from ctx.barrier()
+
+        run_phases(rt, {"r": region}, ["r"])
+        assert rt.master.barrier_mgr.round == 2
+
+    def test_forced_gc_flag_consumed(self):
+        sim, rt, pool = build_system(nprocs=2)
+        seg = rt.malloc("x", shape=(4,), dtype="float64")
+        arr = SharedArray(seg)
+
+        def region(ctx, pid, nprocs, args):
+            if pid == 0:
+                yield from ctx.access(arr.seg, writes=arr.full())
+                arr.view(ctx)[:] = 1.0
+            yield from ctx.barrier()
+            yield from ctx.compute(1e-5)
+
+        rt.master.barrier_mgr.force_gc = True
+        run_phases(rt, {"r": region}, ["r"])
+        assert rt.master.barrier_mgr.force_gc is False
+        assert all(p.stats.gcs == 1 for p in rt.procs.values())
+
+
+class TestBarrierSemantics:
+    def test_barrier_is_global_synchronization(self):
+        """Nobody passes barrier k until everyone reached it."""
+        sim, rt, pool = build_system(nprocs=4)
+        passage = []
+
+        def region(ctx, pid, nprocs, args):
+            yield from ctx.compute(1e-3 * (pid + 1))  # staggered arrivals
+            passage.append(("arrive", pid, ctx.sim.now))
+            yield from ctx.barrier()
+            passage.append(("pass", pid, ctx.sim.now))
+
+        run_phases(rt, {"r": region}, ["r"])
+        last_arrival = max(t for kind, _, t in passage if kind == "arrive")
+        first_pass = min(t for kind, _, t in passage if kind == "pass")
+        assert first_pass >= last_arrival
+
+    def test_barrier_wait_time_accounted(self):
+        sim, rt, pool = build_system(nprocs=2)
+
+        def region(ctx, pid, nprocs, args):
+            yield from ctx.compute(0.1 if pid == 0 else 0.0)
+            yield from ctx.barrier()
+
+        run_phases(rt, {"r": region}, ["r"])
+        # pid 1 arrived early and waited ~0.1 s
+        assert rt.procs[1].stats.barrier_wait_time > 0.09
+        assert rt.procs[0].stats.barrier_wait_time < 0.02
+
+    def test_notices_flow_through_barrier_not_before(self):
+        sim, rt, pool = build_system(nprocs=2)
+        seg = rt.malloc("x", shape=(4,), dtype="float64")
+        arr = SharedArray(seg)
+        observed = {}
+
+        def region(ctx, pid, nprocs, args):
+            if pid == 0:
+                yield from ctx.access(arr.seg, writes=arr.full())
+                arr.view(ctx)[:] = 42.0
+                yield from ctx.barrier()
+            else:
+                # before our barrier: no notice applied yet -> no pending
+                pte_pending_before = any(
+                    p.pending for p in ctx.proc.table
+                )
+                yield from ctx.barrier()
+                yield from ctx.access(arr.seg, reads=arr.full())
+                observed["before"] = pte_pending_before
+                observed["value"] = float(arr.view(ctx)[0])
+
+        run_phases(rt, {"r": region}, ["r"])
+        assert observed["value"] == 42.0

@@ -1,0 +1,107 @@
+"""Unit tests for interval records, the interval log, and DSM statistics."""
+
+import pytest
+
+from repro.dsm import DsmStats, IntervalLog, IntervalRecord, VectorClock
+from repro.dsm.intervals import Diff, WriteNotice
+from repro.dsm.statistics import TeamStats
+
+
+def record(proc, seq, pages, width=2):
+    vc = VectorClock.zeros(width)
+    vc.entries[proc] = seq
+    rec = IntervalRecord(proc=proc, seq=seq, vc=vc)
+    for page in pages:
+        rec.write_ranges[page] = [(0, 16)]
+        rec.diffs[page] = Diff(proc=proc, seq=seq, page=page, vc=vc.copy(),
+                               ranges=[(0, 16)])
+    return rec
+
+
+class TestIntervalRecord:
+    def test_notices_sorted_by_page(self):
+        rec = record(1, 3, [7, 2, 5])
+        notices = rec.notices()
+        assert [n.page for n in notices] == [2, 5, 7]
+        assert all(n.proc == 1 and n.seq == 3 for n in notices)
+
+    def test_notice_covered_by(self):
+        rec = record(0, 2, [1])
+        notice = rec.notices()[0]
+        covers = VectorClock([2, 0])
+        misses = VectorClock([1, 5])
+        assert notice.covered_by(covers)
+        assert not notice.covered_by(misses)
+
+
+class TestIntervalLog:
+    def test_add_get(self):
+        log = IntervalLog(0)
+        rec = record(0, 1, [4])
+        log.add(rec)
+        assert log.get(1) is rec
+        assert len(log) == 1
+
+    def test_duplicate_seq_rejected(self):
+        log = IntervalLog(0)
+        log.add(record(0, 1, [4]))
+        with pytest.raises(ValueError):
+            log.add(record(0, 1, [5]))
+
+    def test_diffs_for_range(self):
+        log = IntervalLog(0)
+        for seq in (1, 2, 3, 4):
+            log.add(record(0, seq, [10] if seq != 3 else [11]))
+        diffs = log.diffs_for(10, 0, 4)
+        assert [d.seq for d in diffs] == [1, 2, 4]
+        assert log.diffs_for(10, 2, 4) == [log.get(4).diffs[10]]
+        assert log.diffs_for(99, 0, 4) == []
+
+    def test_clear(self):
+        log = IntervalLog(0)
+        log.add(record(0, 1, [4]))
+        log.clear()
+        assert len(log) == 0
+
+
+class TestDiff:
+    def test_wire_size_and_dirty_bytes(self):
+        vc = VectorClock([1, 0])
+        diff = Diff(proc=0, seq=1, page=3, vc=vc, ranges=[(0, 10), (20, 24)])
+        assert diff.dirty_bytes == 14
+        assert diff.wire_size == 14 + 16
+
+    def test_sort_key_orders_by_happens_before(self):
+        early = Diff(0, 1, 0, VectorClock([1, 0]), [(0, 4)])
+        late = Diff(1, 1, 0, VectorClock([1, 1]), [(0, 4)])
+        assert early.sort_key() < late.sort_key()
+
+
+class TestDsmStats:
+    def test_add_elementwise(self):
+        a = DsmStats(page_fetches=3, compute_time=1.5)
+        b = DsmStats(page_fetches=2, compute_time=0.5, diffs_fetched=7)
+        total = a.add(b)
+        assert total.page_fetches == 5
+        assert total.compute_time == 2.0
+        assert total.diffs_fetched == 7
+        # originals untouched
+        assert a.page_fetches == 3
+
+    def test_copy_is_independent(self):
+        a = DsmStats(barriers=1)
+        b = a.copy()
+        b.barriers = 99
+        assert a.barriers == 1
+
+    def test_delta(self):
+        before = DsmStats(page_fetches=10)
+        after = DsmStats(page_fetches=25, gcs=1)
+        d = after.delta(before)
+        assert d.page_fetches == 15
+        assert d.gcs == 1
+
+    def test_team_total(self):
+        team = TeamStats(per_process={0: DsmStats(locks_acquired=2),
+                                      1: DsmStats(locks_acquired=3)})
+        assert team.total().locks_acquired == 5

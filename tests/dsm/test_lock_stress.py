@@ -1,0 +1,142 @@
+"""Lock-protocol stress tests.
+
+Regression coverage for the tenure race: a LOCK_FORWARD can arrive at a
+process that already released *and re-requested* the lock — the release
+"token" accounting must match forwards to completed tenures, or the chain
+deadlocks in a cycle.  Tight re-acquisition loops across several team
+sizes and fork boundaries exercise exactly that window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsm import Protocol, SharedArray, TmkProgram
+
+from ..helpers import build_adaptive, build_system, run_phases
+
+
+def counter_region(arr, rounds, hold=0.0):
+    def region(ctx, pid, nprocs, args):
+        for _ in range(rounds):
+            yield from ctx.lock(1)
+            yield from ctx.access(arr.seg, reads=arr.full(), writes=arr.full())
+            arr.view(ctx)[0] += 1.0
+            if hold:
+                yield from ctx.compute(hold)
+            ctx.unlock(1)
+
+    return region
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 4, 6])
+@pytest.mark.parametrize("rounds", [1, 5, 11])
+def test_tight_reacquisition_loops(nprocs, rounds):
+    sim, rt, pool = build_system(nprocs=nprocs)
+    arr = SharedArray(rt.malloc("c", shape=(8,), dtype="float64"))
+    got = {}
+
+    def check(ctx, pid, np_, args):
+        yield from ctx.access(arr.seg, reads=arr.full())
+        got.setdefault(pid, float(arr.view(ctx)[0]))
+
+    run_phases(
+        rt,
+        {"inc": counter_region(arr, rounds), "check": check},
+        ["inc", "check"],
+    )
+    assert got[0] == nprocs * rounds
+
+
+def test_reacquisition_across_many_forks():
+    """Chain tails persist across forks within one GC epoch; repeated
+    regions must keep the chain linear."""
+    sim, rt, pool = build_system(nprocs=4)
+    arr = SharedArray(rt.malloc("c", shape=(8,), dtype="float64"))
+    run_phases(rt, {"inc": counter_region(arr, 3)}, ["inc"] * 6)
+    total = None
+
+    sim2, rt2, pool2 = build_system(nprocs=4)
+    arr2 = SharedArray(rt2.malloc("c", shape=(8,), dtype="float64"))
+    got = {}
+
+    def check(ctx, pid, np_, args):
+        yield from ctx.access(arr2.seg, reads=arr2.full())
+        got[pid] = float(arr2.view(ctx)[0])
+
+    run_phases(
+        rt2, {"inc": counter_region(arr2, 3), "check": check}, ["inc"] * 6 + ["check"]
+    )
+    assert got[0] == 4 * 3 * 6
+
+
+def test_locks_with_contention_and_hold_time():
+    sim, rt, pool = build_system(nprocs=5)
+    arr = SharedArray(rt.malloc("c", shape=(8,), dtype="float64"))
+    got = {}
+
+    def check(ctx, pid, np_, args):
+        yield from ctx.access(arr.seg, reads=arr.full())
+        got[pid] = float(arr.view(ctx)[0])
+
+    run_phases(
+        rt,
+        {"inc": counter_region(arr, 4, hold=3e-4), "check": check},
+        ["inc", "check"],
+    )
+    assert got[0] == 20.0
+
+
+def test_locks_across_gc_epochs():
+    """GC resets chains and tokens; counters must still be exact."""
+    sim, rt, pool = build_system(nprocs=3)
+    arr = SharedArray(rt.malloc("c", shape=(8,), dtype="float64"))
+    got = {}
+
+    def check(ctx, pid, np_, args):
+        yield from ctx.access(arr.seg, reads=arr.full())
+        got[pid] = float(arr.view(ctx)[0])
+
+    phases = {"inc": counter_region(arr, 4), "check": check}
+
+    def driver(api):
+        yield from api.fork_join("inc")
+        yield from api._runtime.gc_at_fork_point()
+        yield from api.fork_join("inc")
+        yield from api._runtime.gc_at_fork_point()
+        yield from api.fork_join("check")
+
+    rt.run(TmkProgram(phases, driver, "lock-gc"))
+    assert got[0] == 3 * 4 * 2
+
+
+def test_locks_across_adaptation():
+    """A leave between lock-heavy regions: the new chain must be sound
+    and no increments may be lost."""
+    sim, rt, pool = build_adaptive(nprocs=4)
+    arr = SharedArray(rt.malloc("c", shape=(8,), dtype="float64"))
+    got = {}
+    counts = []
+
+    def inc(ctx, pid, nprocs, args):
+        counts.append(nprocs)
+        for _ in range(3):
+            yield from ctx.lock(1)
+            yield from ctx.access(arr.seg, reads=arr.full(), writes=arr.full())
+            arr.view(ctx)[0] += 1.0
+            ctx.unlock(1)
+            yield from ctx.compute(2e-3)
+
+    def check(ctx, pid, nprocs, args):
+        yield from ctx.access(arr.seg, reads=arr.full())
+        got[pid] = float(arr.view(ctx)[0])
+
+    def driver(api):
+        for _ in range(8):
+            yield from api.fork_join("inc")
+        yield from api.fork_join("check")
+
+    sim.schedule(0.02, lambda: rt.submit_leave(2, grace=60.0))
+    rt.run(TmkProgram({"inc": inc, "check": check}, driver, "lock-adapt"))
+    # counts has one entry per participating process per region, and each
+    # process performed 3 locked increments
+    assert got[0] == len(counts) * 3

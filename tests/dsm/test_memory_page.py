@@ -1,0 +1,184 @@
+"""Tests for the address space, local stores, page tables, and teams."""
+
+import numpy as np
+import pytest
+
+from repro.dsm import AddressSpace, LocalStore, PageTable, Protocol, TeamView, VectorClock
+from repro.dsm.intervals import WriteNotice
+from repro.errors import AdaptationError, AllocationError, DsmError
+
+
+class TestAddressSpace:
+    def test_alloc_page_aligned(self):
+        space = AddressSpace(4096)
+        a = space.alloc("a", 5000)
+        b = space.alloc("b", 100)
+        assert a.page0 == 0 and a.npages == 2
+        assert b.page0 == 2 and b.npages == 1
+        assert space.total_pages == 3
+        assert space.total_bytes == 5100
+
+    def test_alloc_rejects_bad_sizes(self):
+        space = AddressSpace(4096)
+        with pytest.raises(AllocationError):
+            space.alloc("a", 0)
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace(4096)
+        space.alloc("a", 10)
+        with pytest.raises(AllocationError):
+            space.alloc("a", 10)
+
+    def test_by_name(self):
+        space = AddressSpace(4096)
+        seg = space.alloc("grid", 100)
+        assert space.by_name("grid") is seg
+        with pytest.raises(AllocationError):
+            space.by_name("nope")
+
+    def test_segment_of_page(self):
+        space = AddressSpace(4096)
+        a = space.alloc("a", 8192)
+        b = space.alloc("b", 4096)
+        assert space.segment_of_page(0) is a
+        assert space.segment_of_page(1) is a
+        assert space.segment_of_page(2) is b
+        with pytest.raises(AllocationError):
+            space.segment_of_page(3)
+
+    def test_pages_for_range(self):
+        space = AddressSpace(4096)
+        seg = space.alloc("a", 4096 * 4)
+        assert list(seg.pages_for_range(0, 4096)) == [0]
+        assert list(seg.pages_for_range(4095, 4097)) == [0, 1]
+        assert list(seg.pages_for_range(0, 0)) == []
+        assert list(seg.pages_for_range(8192, 16384)) == [2, 3]
+        with pytest.raises(AllocationError):
+            seg.pages_for_range(0, 999999)
+
+    def test_page_window_clips_to_segment_end(self):
+        space = AddressSpace(4096)
+        seg = space.alloc("a", 5000)
+        assert seg.page_window(0, 4096) == (0, 4096)
+        assert seg.page_window(1, 4096) == (4096, 5000)
+
+
+class TestLocalStore:
+    def test_page_view_is_window_of_buffer(self):
+        space = AddressSpace(4096)
+        seg = space.alloc("a", 8192)
+        store = LocalStore(space)
+        view = store.page_view(1)
+        view[:] = 7
+        assert store.buffer(seg)[4096] == 7
+        assert store.buffer(seg)[0] == 0
+
+    def test_array_view_dtype_shape(self):
+        space = AddressSpace(4096)
+        seg = space.alloc("m", 4 * 4 * 8, dtype="float64", shape=(4, 4))
+        store = LocalStore(space)
+        arr = store.array_view(seg)
+        assert arr.shape == (4, 4)
+        arr[2, 3] = 1.5
+        # mutating the view mutates the underlying page bytes
+        raw = store.page_view(seg.page0).view(np.float64)
+        assert raw[2 * 4 + 3] == 1.5
+
+
+class TestPageTable:
+    def _notice(self, proc, seq, page, width=4):
+        vc = VectorClock.zeros(width)
+        vc.entries[proc] = seq
+        return WriteNotice(proc=proc, seq=seq, page=page, vc=vc)
+
+    def test_unmapped_page_raises(self):
+        table = PageTable("P0")
+        with pytest.raises(DsmError):
+            table.entry(3)
+
+    def test_map_and_lookup(self):
+        table = PageTable("P0")
+        pte = table.map_page(3, Protocol.MULTIPLE_WRITER, owner=1, valid=False, width=4)
+        assert table.entry(3) is pte
+        assert 3 in table and 4 not in table
+        assert len(table) == 1
+
+    def test_add_notice_invalidates(self):
+        table = PageTable("P0")
+        pte = table.map_page(0, Protocol.MULTIPLE_WRITER, owner=0, valid=True, width=4)
+        assert pte.readable
+        pte.add_notice(self._notice(1, 1, 0))
+        assert not pte.readable
+        assert len(pte.pending) == 1
+
+    def test_add_notice_deduplicates(self):
+        table = PageTable("P0")
+        pte = table.map_page(0, Protocol.MULTIPLE_WRITER, owner=0, valid=True, width=4)
+        n = self._notice(1, 1, 0)
+        pte.add_notice(n)
+        pte.add_notice(self._notice(1, 1, 0))
+        assert len(pte.pending) == 1
+
+    def test_covered_notice_ignored(self):
+        table = PageTable("P0")
+        pte = table.map_page(0, Protocol.MULTIPLE_WRITER, owner=0, valid=True, width=4)
+        pte.applied.entries[1] = 5
+        pte.add_notice(self._notice(1, 3, 0))
+        assert pte.readable
+
+    def test_prune_pending(self):
+        table = PageTable("P0")
+        pte = table.map_page(0, Protocol.MULTIPLE_WRITER, owner=0, valid=True, width=4)
+        pte.add_notice(self._notice(1, 1, 0))
+        pte.add_notice(self._notice(2, 4, 0))
+        pte.applied.entries[1] = 1
+        pte.prune_pending()
+        assert [n.proc for n in pte.pending] == [2]
+
+    def test_entries_snapshot_sorted(self):
+        table = PageTable("P0")
+        for page in (5, 1, 3):
+            table.map_page(page, Protocol.SINGLE_WRITER, owner=0, valid=False, width=2)
+        assert [p.page for p in table.entries_snapshot()] == [1, 3, 5]
+
+
+class TestTeamView:
+    def test_basic_mapping(self):
+        team = TeamView([10, 11, 12])
+        assert team.nprocs == 3
+        assert team.pids == [0, 1, 2]
+        assert team.slave_pids == [1, 2]
+        assert team.node_of(1) == 11
+        assert team.pid_of_node(12) == 2
+        assert team.has_node(10) and not team.has_node(99)
+
+    def test_unknown_pid_raises(self):
+        team = TeamView([10])
+        with pytest.raises(AdaptationError):
+            team.node_of(5)
+
+    def test_set_mapping_validates_density(self):
+        team = TeamView([10, 11])
+        with pytest.raises(AdaptationError):
+            team.set_mapping({0: 10, 2: 11})
+
+    def test_set_mapping_validates_duplicates(self):
+        team = TeamView([10, 11])
+        with pytest.raises(AdaptationError):
+            team.set_mapping({0: 10, 1: 10})
+
+    def test_set_mapping_bumps_generation(self):
+        team = TeamView([10, 11])
+        g = team.generation
+        team.set_mapping({0: 10, 1: 12})
+        assert team.generation == g + 1
+        assert team.node_of(1) == 12
+
+    def test_move_pid(self):
+        team = TeamView([10, 11])
+        team.move_pid(1, 55)
+        assert team.node_of(1) == 55
+
+    def test_empty_team_rejected(self):
+        with pytest.raises(AdaptationError):
+            TeamView([])

@@ -1,0 +1,402 @@
+"""Integration tests for the TreadMarks fork/join runtime.
+
+These run whole programs (materialized: real bytes through the DSM) and
+check that the shared memory observed by every process equals what a
+sequential execution would produce — the fundamental DSM correctness
+property — plus protocol-level behaviours (single- vs multiple-writer,
+GC, notices).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsm import Protocol, SharedArray
+
+from ..helpers import build_system, run_phases
+
+
+def make_array(runtime, name="A", shape=(32, 32), protocol=Protocol.MULTIPLE_WRITER):
+    seg = runtime.malloc(name, shape=shape, dtype="float64", protocol=protocol)
+    return SharedArray(seg)
+
+
+def init_phase(arr, value_fn):
+    def region(ctx, pid, nprocs, args):
+        if pid == 0:
+            yield from ctx.access(arr.seg, writes=arr.full())
+            if ctx.materialized:
+                arr.view(ctx)[:] = value_fn()
+        yield from ctx.compute(1e-4)
+
+    return region
+
+
+def check_phase(arr, expected_fn, seen):
+    def region(ctx, pid, nprocs, args):
+        yield from ctx.access(arr.seg, reads=arr.full())
+        if ctx.materialized:
+            np.testing.assert_array_equal(arr.view(ctx), expected_fn())
+        seen.append(pid)
+
+    return region
+
+
+class TestForkJoin:
+    def test_master_writes_visible_to_all(self):
+        sim, rt, pool = build_system(nprocs=4)
+        arr = make_array(rt)
+        seen = []
+        base = lambda: np.arange(32 * 32, dtype=np.float64).reshape(32, 32)
+        run_phases(
+            rt,
+            {"init": init_phase(arr, base), "check": check_phase(arr, base, seen)},
+            ["init", "check"],
+        )
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_slave_writes_visible_everywhere(self):
+        sim, rt, pool = build_system(nprocs=4)
+        arr = make_array(rt)
+        base = lambda: np.ones((32, 32))
+
+        def scale(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(arr.seg, reads=arr.rows(lo, hi), writes=arr.rows(lo, hi))
+            arr.view(ctx)[lo:hi] *= float(pid + 2)
+
+        def expected():
+            out = np.ones((32, 32))
+            for pid in range(4):
+                lo, hi = arr.block(pid, 4)
+                out[lo:hi] *= pid + 2
+            return out
+
+        seen = []
+        run_phases(
+            rt,
+            {
+                "init": init_phase(arr, base),
+                "scale": scale,
+                "check": check_phase(arr, expected, seen),
+            },
+            ["init", "scale", "check"],
+        )
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_unaligned_partitions_use_diffs(self):
+        """Row size 24 B => many writers per page: multiple-writer diffs."""
+        sim, rt, pool = build_system(nprocs=4)
+        arr = make_array(rt, shape=(64, 3))
+
+        def write_rows(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(arr.seg, writes=arr.rows(lo, hi))
+            arr.view(ctx)[lo:hi] = pid + 1.0
+
+        def expected():
+            out = np.zeros((64, 3))
+            for pid in range(4):
+                lo, hi = arr.block(pid, 4)
+                out[lo:hi] = pid + 1.0
+            return out
+
+        seen = []
+        res = run_phases(
+            rt,
+            {"w": write_rows, "check": check_phase(arr, expected, seen)},
+            ["w", "check"],
+        )
+        assert res.traffic.diffs > 0
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_single_writer_protocol_fetches_pages_not_diffs(self):
+        sim, rt, pool = build_system(nprocs=4)
+        # 512 B rows: 8 rows per page; partition 32/4 = 8 rows -> page aligned.
+        arr = make_array(rt, shape=(32, 64), protocol=Protocol.SINGLE_WRITER)
+
+        def write_rows(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(arr.seg, writes=arr.rows(lo, hi))
+            arr.view(ctx)[lo:hi] = pid + 1.0
+
+        def expected():
+            out = np.zeros((32, 64))
+            for pid in range(4):
+                lo, hi = arr.block(pid, 4)
+                out[lo:hi] = pid + 1.0
+            return out
+
+        seen = []
+        res = run_phases(
+            rt,
+            {"w": write_rows, "check": check_phase(arr, expected, seen)},
+            ["w", "check"],
+        )
+        assert res.traffic.diffs == 0
+        assert res.traffic.pages > 0
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_single_writer_page_demoted_on_write_sharing(self):
+        """Concurrent writers on a single-writer page demote it to the
+        multiple-writer (diff) protocol, like TreadMarks, and disjoint
+        concurrent writes still merge correctly."""
+        sim, rt, pool = build_system(nprocs=2, trace=True)
+        # one page, two disjoint halves written concurrently
+        arr = make_array(rt, shape=(2, 64), protocol=Protocol.SINGLE_WRITER)
+
+        def conflict(ctx, pid, nprocs, args):
+            yield from ctx.access(arr.seg, writes=arr.rows(pid, pid + 1))
+            arr.view(ctx)[pid] = pid + 1.0
+
+        def expected():
+            out = np.zeros((2, 64))
+            out[0] = 1.0
+            out[1] = 2.0
+            return out
+
+        seen = []
+        run_phases(
+            rt,
+            {"c": conflict, "check": check_phase(arr, expected, seen)},
+            ["c", "check"],
+        )
+        assert sorted(seen) == [0, 1]
+        assert sim.tracer.select(category="dsm", subject="demote")
+
+    def test_run_with_one_process(self):
+        sim, rt, pool = build_system(nprocs=1)
+        arr = make_array(rt)
+        base = lambda: np.full((32, 32), 3.0)
+        seen = []
+        res = run_phases(
+            rt,
+            {"init": init_phase(arr, base), "check": check_phase(arr, base, seen)},
+            ["init", "check"],
+        )
+        assert seen == [0]
+        assert res.traffic.messages == 0  # no remote traffic with 1 process
+
+    def test_fork_args_passed_to_regions(self):
+        sim, rt, pool = build_system(nprocs=3)
+        got = []
+
+        def region(ctx, pid, nprocs, args):
+            got.append((pid, args))
+            yield from ctx.compute(1e-5)
+
+        run_phases(rt, {"r": region}, [("r", {"iter": 7})])
+        assert sorted(got) == [(0, {"iter": 7}), (1, {"iter": 7}), (2, {"iter": 7})]
+
+    def test_runtime_seconds_accumulates_compute(self):
+        sim, rt, pool = build_system(nprocs=2)
+
+        def region(ctx, pid, nprocs, args):
+            yield from ctx.compute(0.5)
+
+        res = run_phases(rt, {"r": region}, ["r", "r"])
+        assert res.runtime_seconds >= 1.0
+        assert res.forks == 2
+
+
+class TestInnerBarrier:
+    def test_barrier_orders_cross_phase_writes(self):
+        """Within one region: write own block, barrier, read neighbour's."""
+        sim, rt, pool = build_system(nprocs=4)
+        arr = make_array(rt, shape=(64, 64))
+        results = []
+
+        def region(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(arr.seg, writes=arr.rows(lo, hi))
+            arr.view(ctx)[lo:hi] = pid + 1.0
+            yield from ctx.barrier()
+            nxt = (pid + 1) % nprocs
+            nlo, nhi = arr.block(nxt, nprocs)
+            yield from ctx.access(arr.seg, reads=arr.rows(nlo, nhi))
+            results.append((pid, float(arr.view(ctx)[nlo, 0])))
+
+        run_phases(rt, {"r": region}, ["r"])
+        assert sorted(results) == [(0, 2.0), (1, 3.0), (2, 4.0), (3, 1.0)]
+
+    def test_multiple_barriers_in_one_region(self):
+        sim, rt, pool = build_system(nprocs=3)
+        order = []
+
+        def region(ctx, pid, nprocs, args):
+            for step in range(3):
+                yield from ctx.compute(1e-4 * (pid + 1))
+                yield from ctx.barrier()
+                order.append((step, pid))
+
+        run_phases(rt, {"r": region}, ["r"])
+        # all procs finish barrier k before any enters barrier k+1 records
+        steps = [s for s, _ in order]
+        assert steps == sorted(steps)
+
+
+class TestLocks:
+    def test_lock_serializes_counter_increments(self):
+        sim, rt, pool = build_system(nprocs=4)
+        arr = make_array(rt, shape=(4,))
+
+        def incr(ctx, pid, nprocs, args):
+            for _ in range(3):
+                yield from ctx.lock(1)
+                yield from ctx.access(arr.seg, reads=arr.full(), writes=arr.full())
+                arr.view(ctx)[0] += 1.0
+                ctx.unlock(1)
+                yield from ctx.compute(1e-5)
+
+        def check(ctx, pid, nprocs, args):
+            yield from ctx.access(arr.seg, reads=arr.full())
+            assert arr.view(ctx)[0] == 12.0
+
+        run_phases(rt, {"incr": incr, "check": check}, ["incr", "check"])
+
+    def test_release_without_hold_raises(self):
+        from repro.errors import SimulationError
+
+        sim, rt, pool = build_system(nprocs=2)
+
+        def bad(ctx, pid, nprocs, args):
+            if pid == 1:
+                ctx.unlock(5)
+            yield from ctx.compute(1e-5)
+
+        with pytest.raises(SimulationError):
+            run_phases(rt, {"bad": bad}, ["bad"])
+
+
+class TestGarbageCollection:
+    def test_forced_gc_preserves_data(self):
+        sim, rt, pool = build_system(nprocs=4)
+        arr = make_array(rt)
+        base = lambda: np.full((32, 32), 5.0)
+        seen = []
+
+        def force_gc_phase(ctx, pid, nprocs, args):
+            yield from ctx.compute(1e-5)
+
+        phases = {
+            "init": init_phase(arr, base),
+            "noop": force_gc_phase,
+            "check": check_phase(arr, base, seen),
+        }
+
+        def driver(api):
+            yield from api.fork_join("init")
+            yield from api.fork_join("noop")
+            yield from api._runtime.gc_at_fork_point()
+            yield from api.fork_join("check")
+
+        from repro.dsm import TmkProgram
+
+        rt.run(TmkProgram(phases, driver, "gc-test"))
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert all(p.stats.gcs == 1 for p in rt.procs.values())
+        assert all(p.epoch == 1 for p in rt.procs.values())
+
+    def test_gc_transfers_ownership_to_last_writer(self):
+        sim, rt, pool = build_system(nprocs=4)
+        arr = make_array(rt, shape=(64, 64))
+
+        def write_block(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(arr.seg, writes=arr.rows(lo, hi))
+            arr.view(ctx)[lo:hi] = pid
+
+        def driver(api):
+            yield from api.fork_join("w")
+            yield from api._runtime.gc_at_fork_point()
+
+        from repro.dsm import TmkProgram
+
+        rt.run(TmkProgram({"w": write_block}, driver, "gc-own"))
+        # every proc agrees that the writer of each block owns its pages
+        for pid in range(4):
+            lo, hi = arr.block(pid, 4)
+            page = arr.seg.page0 + (lo * arr.row_bytes) // 4096
+            for proc in rt.procs.values():
+                assert proc.owner_of(page) == pid
+
+    def test_gc_interval_limit_triggers_automatically(self):
+        from repro.config import DsmParams, SystemConfig
+
+        cfg = SystemConfig(dsm=DsmParams(gc_interval_limit=3))
+        sim, rt, pool = build_system(nprocs=2, cfg=cfg)
+        arr = make_array(rt, shape=(8, 8))
+
+        def touch(ctx, pid, nprocs, args):
+            if pid == 0:
+                yield from ctx.access(arr.seg, writes=arr.rows(0, 1))
+                arr.view(ctx)[0] += 1
+
+        res = run_phases(rt, {"t": touch}, ["t"] * 8)
+        assert all(p.stats.gcs >= 1 for p in rt.procs.values())
+
+    def test_after_gc_reads_fetch_full_pages_from_owner(self):
+        sim, rt, pool = build_system(nprocs=2)
+        arr = make_array(rt, shape=(8, 512))  # exactly 8 pages
+        base = lambda: np.full((8, 512), 2.5)
+        seen = []
+
+        def driver(api):
+            yield from api.fork_join("init")
+            yield from api._runtime.gc_at_fork_point()
+            yield from api.fork_join("check")
+
+        from repro.dsm import TmkProgram
+
+        phases = {
+            "init": init_phase(arr, base),
+            "check": check_phase(arr, base, seen),
+        }
+        res = rt.run(TmkProgram(phases, driver, "gc-read"))
+        assert sorted(seen) == [0, 1]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def one_run():
+            sim, rt, pool = build_system(nprocs=4)
+            arr = make_array(rt, shape=(48, 48))
+
+            def work(ctx, pid, nprocs, args):
+                lo, hi = arr.block(pid, nprocs)
+                yield from ctx.access(arr.seg, reads=arr.full(), writes=arr.rows(lo, hi))
+                arr.view(ctx)[lo:hi] += pid
+                yield from ctx.compute(1e-3)
+
+            res = run_phases(rt, {"w": work}, ["w"] * 3)
+            return res.runtime_seconds, res.traffic.messages, res.traffic.bytes
+
+        assert one_run() == one_run()
+
+
+class TestTracedMode:
+    def test_traced_mode_produces_same_traffic_as_materialized(self):
+        """Traffic shape must be identical with and without real bytes."""
+
+        def one_run(materialized):
+            sim, rt, pool = build_system(nprocs=4, materialized=materialized)
+            arr = make_array(rt, shape=(40, 40))
+
+            def work(ctx, pid, nprocs, args):
+                lo, hi = arr.block(pid, nprocs)
+                yield from ctx.access(
+                    arr.seg, reads=arr.full(), writes=arr.rows(lo, hi)
+                )
+                if ctx.materialized:
+                    arr.view(ctx)[lo:hi] = pid + 1.0
+                yield from ctx.compute(1e-4)
+
+            res = run_phases(rt, {"w": work}, ["w"] * 4)
+            return res.traffic.messages, res.traffic.pages, res.traffic.diffs
+
+        mat = one_run(True)
+        traced = one_run(False)
+        assert traced[0] == mat[0]
+        assert traced[1] == mat[1]
+        # traced diffs >= materialized (identical-byte writes are dropped
+        # only when real bytes are compared)
+        assert traced[2] >= mat[2]

@@ -1,0 +1,114 @@
+"""Tests for the IVY-style sequentially-consistent baseline DSM."""
+
+import numpy as np
+import pytest
+
+from repro.apps import TINY, Jacobi
+from repro.dsm import Protocol, ScRuntime, SharedArray, TmkRuntime
+
+from ..helpers import build_system, run_phases
+
+ALL = sorted(TINY)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ALL)
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_kernels_match_sequential_reference(self, name, nprocs):
+        sim, rt, pool = build_system(nprocs=nprocs, runtime_cls=ScRuntime)
+        app = TINY[name].make()
+        rt.run(app.program(rt))
+        assert app.verify(rtol=1e-7, atol=1e-9), f"{name} diverged under SC"
+
+    def test_false_sharing_merges_correctly(self):
+        """Disjoint concurrent writes inside one page converge byte-exactly
+        (the page travels with ownership, carrying earlier writers' bytes)."""
+        sim, rt, pool = build_system(nprocs=4, runtime_cls=ScRuntime)
+        seg = rt.malloc("v", shape=(64, 8), dtype="float64")  # one page
+        arr = SharedArray(seg)
+
+        def write_block(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(arr.seg, writes=arr.rows(lo, hi))
+            arr.view(ctx)[lo:hi] = pid + 1.0
+
+        got = {}
+
+        def check(ctx, pid, nprocs, args):
+            yield from ctx.access(arr.seg, reads=arr.full())
+            got[pid] = arr.view(ctx).copy()
+
+        run_phases(rt, {"w": write_block, "check": check}, ["w", "check"])
+        expected = np.zeros((64, 8))
+        for pid in range(4):
+            lo, hi = arr.block(pid, 4)
+            expected[lo:hi] = pid + 1.0
+        for pid in range(4):
+            np.testing.assert_array_equal(got[pid], expected)
+
+    def test_writes_survive_page_steals_across_iterations(self):
+        sim, rt, pool = build_system(nprocs=3, runtime_cls=ScRuntime)
+        seg = rt.malloc("v", shape=(48, 8), dtype="float64")
+        arr = SharedArray(seg)
+
+        def bump(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(
+                arr.seg, reads=arr.rows(lo, hi), writes=arr.rows(lo, hi)
+            )
+            arr.view(ctx)[lo:hi] += 1.0
+
+        got = {}
+
+        def check(ctx, pid, nprocs, args):
+            yield from ctx.access(arr.seg, reads=arr.full())
+            got[pid] = arr.view(ctx).copy()
+
+        run_phases(rt, {"b": bump, "check": check}, ["b"] * 10 + ["check"])
+        np.testing.assert_array_equal(got[0], np.full((48, 8), 10.0))
+
+
+class TestProtocolShape:
+    def test_no_diffs_ever(self):
+        """SC has no twin/diff machinery at all."""
+        sim, rt, pool = build_system(nprocs=4, runtime_cls=ScRuntime)
+        app = TINY["jacobi"].make()
+        res = rt.run(app.program(rt))
+        assert res.traffic.diffs == 0
+        for proc in rt.procs.values():
+            assert proc.stats.diffs_created == 0
+            assert proc.stats.twins_created == 0
+
+    def test_false_sharing_pingpong_costs_more_than_lrc(self):
+        """The reason TreadMarks exists: unaligned Jacobi moves far more
+        pages under write-invalidate than under LRC's multiple-writer."""
+
+        def pages(runtime_cls):
+            sim, rt, pool = build_system(nprocs=4, runtime_cls=runtime_cls)
+            app = Jacobi(n=100, iterations=6)  # 800-B rows: false sharing
+            res = rt.run(app.program(rt))
+            assert app.verify(rtol=1e-7, atol=1e-9)
+            return res.traffic.pages
+
+        # the boundary pages ping-pong as whole pages every iteration under
+        # SC; LRC ships them once and diffs thereafter
+        assert pages(ScRuntime) > 2 * pages(TmkRuntime)
+
+    def test_read_only_sharing_is_cheap(self):
+        """Pages read by everyone and written once behave like LRC."""
+        sim, rt, pool = build_system(nprocs=4, runtime_cls=ScRuntime)
+        seg = rt.malloc("r", shape=(8, 512), dtype="float64")
+        arr = SharedArray(seg)
+
+        def init(ctx, pid, nprocs, args):
+            if pid == 0:
+                yield from ctx.access(arr.seg, writes=arr.full())
+                arr.view(ctx)[:] = 7.0
+
+        def read(ctx, pid, nprocs, args):
+            yield from ctx.access(arr.seg, reads=arr.full())
+            assert (arr.view(ctx) == 7.0).all()
+
+        res = run_phases(rt, {"i": init, "r": read}, ["i"] + ["r"] * 5)
+        # each proc fetches each of the 8 pages exactly once
+        assert res.traffic.pages == 3 * 8

@@ -1,0 +1,100 @@
+"""Tests for vector timestamps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsm import VectorClock
+
+
+def test_zeros():
+    vc = VectorClock.zeros(4)
+    assert vc.entries == [0, 0, 0, 0]
+    assert vc.width == 4
+
+
+def test_tick_increments_own_slot():
+    vc = VectorClock.zeros(3)
+    vc.tick(1)
+    vc.tick(1)
+    vc.tick(2)
+    assert vc.entries == [0, 2, 1]
+
+
+def test_merge_elementwise_max():
+    a = VectorClock([1, 5, 2])
+    b = VectorClock([3, 1, 2])
+    a.merge(b)
+    assert a.entries == [3, 5, 2]
+
+
+def test_merge_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        VectorClock([1]).merge(VectorClock([1, 2]))
+
+
+def test_covers():
+    a = VectorClock([2, 3, 1])
+    assert a.covers(VectorClock([2, 3, 1]))
+    assert a.covers(VectorClock([1, 0, 0]))
+    assert not a.covers(VectorClock([3, 0, 0]))
+
+
+def test_covers_interval():
+    a = VectorClock([2, 3, 0])
+    assert a.covers_interval(1, 3)
+    assert not a.covers_interval(1, 4)
+    assert a.covers_interval(2, 0)
+
+
+def test_copy_is_independent():
+    a = VectorClock([1, 2])
+    b = a.copy()
+    b.tick(0)
+    assert a.entries == [1, 2]
+
+
+def test_equality_and_hash():
+    assert VectorClock([1, 2]) == VectorClock([1, 2])
+    assert VectorClock([1, 2]) != VectorClock([2, 1])
+    assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2]))
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=8))
+def test_merge_idempotent(entries):
+    a = VectorClock(entries)
+    b = a.copy()
+    a.merge(b)
+    assert a == b
+
+
+@given(
+    st.integers(2, 6).flatmap(
+        lambda w: st.tuples(
+            st.lists(st.integers(0, 50), min_size=w, max_size=w),
+            st.lists(st.integers(0, 50), min_size=w, max_size=w),
+        )
+    )
+)
+def test_merge_covers_both(pair):
+    ea, eb = pair
+    a, b = VectorClock(ea), VectorClock(eb)
+    merged = a.copy()
+    merged.merge(b)
+    assert merged.covers(a)
+    assert merged.covers(b)
+
+
+@given(
+    st.integers(2, 6).flatmap(
+        lambda w: st.tuples(
+            st.lists(st.integers(0, 50), min_size=w, max_size=w),
+            st.lists(st.integers(0, 50), min_size=w, max_size=w),
+        )
+    )
+)
+def test_sort_key_consistent_with_happens_before(pair):
+    """If a strictly happens-before b, a's sort key must be smaller."""
+    ea, eb = pair
+    a, b = VectorClock(ea), VectorClock(eb)
+    if b.covers(a) and a != b:
+        assert a.sort_key() < b.sort_key()

@@ -1,0 +1,57 @@
+"""Shared test harness: build small simulated systems quickly."""
+
+from __future__ import annotations
+
+from repro.cluster import NodePool
+from repro.config import SystemConfig
+from repro.dsm import TmkProgram, TmkRuntime
+from repro.network import Switch
+from repro.simcore import Simulator
+
+
+def build_system(nprocs=4, extra_nodes=0, cfg=None, materialized=True, trace=False,
+                 runtime_cls=TmkRuntime, **runtime_kw):
+    """A simulator + switch + pool + runtime with ``nprocs`` team nodes.
+
+    ``extra_nodes`` provisions idle workstations (join candidates).
+    Returns (sim, runtime, pool).
+    """
+    sim = Simulator(trace=trace)
+    cfg = cfg or SystemConfig()
+    switch = Switch(sim, cfg.network)
+    pool = NodePool(sim, switch)
+    team_nodes = pool.add_nodes(nprocs)
+    pool.add_nodes(extra_nodes)
+    runtime = runtime_cls(sim, cfg, team_nodes, materialized=materialized, **runtime_kw)
+    return sim, runtime, pool
+
+
+def build_adaptive(nprocs=4, extra_nodes=2, cfg=None, materialized=True, trace=False,
+                   **runtime_kw):
+    """An AdaptiveRuntime over ``nprocs`` team nodes + idle extras."""
+    from repro.core import AdaptiveRuntime
+
+    sim = Simulator(trace=trace)
+    cfg = cfg or SystemConfig()
+    switch = Switch(sim, cfg.network)
+    pool = NodePool(sim, switch)
+    team_nodes = pool.add_nodes(nprocs)
+    pool.add_nodes(extra_nodes)
+    runtime = AdaptiveRuntime(
+        sim, cfg, team_nodes, pool, materialized=materialized, **runtime_kw
+    )
+    return sim, runtime, pool
+
+
+def run_phases(runtime, phases, order, name="test"):
+    """Run a program that fork/joins ``order``'s phases in sequence."""
+
+    def driver(api):
+        for item in order:
+            if isinstance(item, tuple):
+                phase, args = item
+            else:
+                phase, args = item, None
+            yield from api.fork_join(phase, args)
+
+    return runtime.run(TmkProgram(phases, driver, name))

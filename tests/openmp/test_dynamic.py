@@ -1,0 +1,179 @@
+"""Tests for schedule(dynamic) work queues and reductions over the DSM."""
+
+import numpy as np
+import pytest
+
+from repro.dsm import SharedArray
+from repro.errors import ConfigurationError
+from repro.openmp import DynamicLoop, OmpProgram, ParallelFor, Reduction, compile_openmp
+
+from ..helpers import build_adaptive, build_system
+
+
+def dyn_square_program(rt, n=96, chunk=8):
+    """A dynamic loop squaring a shared vector; returns (program, arr, dyn)."""
+    seg = rt.malloc("v", shape=(n,), dtype="float64")
+    arr = SharedArray(seg)
+
+    def body(ctx, lo, hi, args):
+        yield from ctx.access(
+            arr.seg, reads=arr.elements(lo, hi), writes=arr.elements(lo, hi)
+        )
+        if ctx.materialized:
+            v = arr.view(ctx)
+            v[lo:hi] = v[lo:hi] ** 2
+        yield from ctx.compute((hi - lo) * 1e-4)
+
+    dyn = DynamicLoop(rt, "square", iterations=n, chunk=chunk, body=body)
+
+    def init(ctx):
+        yield from ctx.access(arr.seg, writes=arr.full())
+        if ctx.materialized:
+            arr.view(ctx)[:] = np.arange(n, dtype=np.float64)
+
+    final = {}
+
+    def driver(omp):
+        yield from omp.serial(init)
+        yield from dyn.enter(omp)
+        yield from omp.ctx.access(arr.seg, reads=arr.full())
+        if omp.ctx.materialized:
+            final["v"] = arr.view(omp.ctx).copy()
+
+    prog = OmpProgram("dyn", [dyn.parallel_for()], driver)
+    return compile_openmp(prog), final, dyn, n
+
+
+class TestDynamicLoop:
+    @pytest.mark.parametrize("nprocs", [1, 3, 4])
+    def test_every_iteration_done_once(self, nprocs):
+        sim, rt, pool = build_system(nprocs=nprocs)
+        prog, final, dyn, n = dyn_square_program(rt)
+        rt.run(prog)
+        np.testing.assert_array_equal(final["v"], np.arange(n, dtype=float) ** 2)
+        assert sum(dyn.grabbed.values()) == n
+
+    def test_work_spread_over_processes(self):
+        sim, rt, pool = build_system(nprocs=4)
+        prog, final, dyn, n = dyn_square_program(rt, n=192, chunk=8)
+        rt.run(prog)
+        # every process grabbed something (chunks >> procs)
+        assert len(dyn.grabbed) == 4
+        assert all(v > 0 for v in dyn.grabbed.values())
+
+    def test_dynamic_loop_balances_heterogeneous_nodes(self):
+        """The point of dynamic scheduling: a slow node takes fewer chunks."""
+        sim, rt, pool = build_system(nprocs=3)
+        pool.node(2).speed = 0.25  # one node 4x slower
+        prog, final, dyn, n = dyn_square_program(rt, n=192, chunk=8)
+        rt.run(prog)
+        slow_share = dyn.grabbed.get(2, 0)
+        fast_share = dyn.grabbed[0]
+        assert slow_share < fast_share
+
+    def test_dynamic_loop_survives_adaptation(self):
+        sim, rt, pool = build_adaptive(nprocs=4, extra_nodes=0)
+        seg = rt.malloc("v", shape=(128,), dtype="float64")
+        arr = SharedArray(seg)
+
+        def body(ctx, lo, hi, args):
+            yield from ctx.access(
+                arr.seg, reads=arr.elements(lo, hi), writes=arr.elements(lo, hi)
+            )
+            arr.view(ctx)[lo:hi] += 1.0
+            yield from ctx.compute((hi - lo) * 2e-4)
+
+        dyn = DynamicLoop(rt, "bump", iterations=128, chunk=8, body=body)
+        final = {}
+
+        def driver(omp):
+            for _ in range(6):
+                yield from dyn.enter(omp)
+            yield from omp.ctx.access(arr.seg, reads=arr.full())
+            final["v"] = arr.view(omp.ctx).copy()
+
+        prog = compile_openmp(OmpProgram("dyn-adapt", [dyn.parallel_for()], driver))
+        sim.schedule(0.05, lambda: rt.submit_leave(2, grace=60.0))
+        res = rt.run(prog)
+        assert res.adaptations == 1
+        np.testing.assert_array_equal(final["v"], np.full(128, 6.0))
+
+    def test_invalid_parameters(self):
+        sim, rt, pool = build_system(nprocs=1)
+        with pytest.raises(ConfigurationError):
+            DynamicLoop(rt, "x", iterations=4, chunk=0, body=None)
+        with pytest.raises(ConfigurationError):
+            DynamicLoop(rt, "y", iterations=-1, chunk=1, body=None)
+
+
+class TestReduction:
+    def test_sum_reduction(self):
+        sim, rt, pool = build_system(nprocs=4)
+        red = Reduction(rt, "sum")
+        n = 200
+
+        def body(ctx, lo, hi, args):
+            yield from red.contribute(ctx, float(sum(range(lo, hi))))
+
+        def driver(omp):
+            yield from red.reset(omp.ctx)
+            yield from omp.parallel_for("partial")
+            yield from red.combine(omp.ctx)
+
+        prog = compile_openmp(OmpProgram("red", [ParallelFor("partial", n, body)], driver))
+        rt.run(prog)
+        assert red.result == sum(range(n))
+
+    def test_max_reduction(self):
+        sim, rt, pool = build_system(nprocs=3)
+        red = Reduction(rt, "max", op=np.maximum, identity=-np.inf)
+        values = [3.0, 17.0, 5.0, 11.0, 2.0, 13.0]
+
+        def body(ctx, lo, hi, args):
+            for i in range(lo, hi):
+                yield from red.contribute(ctx, values[i])
+
+        def driver(omp):
+            yield from red.reset(omp.ctx)
+            yield from omp.parallel_for("scan")
+            yield from red.combine(omp.ctx)
+
+        prog = compile_openmp(
+            OmpProgram("redmax", [ParallelFor("scan", len(values), body)], driver)
+        )
+        rt.run(prog)
+        assert red.result == 17.0
+
+    def test_reduction_across_team_sizes_same_result(self):
+        results = []
+        for nprocs in (1, 2, 5):
+            sim, rt, pool = build_system(nprocs=nprocs)
+            red = Reduction(rt, "s")
+
+            def body(ctx, lo, hi, args):
+                yield from red.contribute(ctx, float(hi - lo))
+
+            def driver(omp):
+                yield from red.reset(omp.ctx)
+                yield from omp.parallel_for("p")
+                yield from red.combine(omp.ctx)
+
+            rt.run(compile_openmp(OmpProgram("r", [ParallelFor("p", 77, body)], driver)))
+            results.append(red.result)
+        assert results == [77.0, 77.0, 77.0]
+
+    def test_slot_overflow_detected(self):
+        from repro.errors import SimulationError
+
+        sim, rt, pool = build_system(nprocs=2)
+        red = Reduction(rt, "tiny", max_procs=1)
+
+        def body(ctx, lo, hi, args):
+            yield from red.contribute(ctx, 1.0)
+
+        def driver(omp):
+            yield from red.reset(omp.ctx)
+            yield from omp.parallel_for("p")
+
+        with pytest.raises(SimulationError):
+            rt.run(compile_openmp(OmpProgram("r", [ParallelFor("p", 2, body)], driver)))

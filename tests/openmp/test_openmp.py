@@ -1,0 +1,212 @@
+"""Tests for the OpenMP front end: schedules, program model, lowering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.openmp import (
+    InterleavedSchedule,
+    OmpProgram,
+    ParallelFor,
+    StaticChunkSchedule,
+    StaticSchedule,
+    compile_openmp,
+    coverage,
+)
+
+from ..helpers import build_system
+
+
+class TestStaticSchedule:
+    def test_even_split(self):
+        s = StaticSchedule()
+        assert s.chunks(8, 0, 4) == [(0, 2)]
+        assert s.chunks(8, 3, 4) == [(6, 8)]
+
+    def test_remainder_to_low_pids(self):
+        s = StaticSchedule()
+        assert s.chunks(10, 0, 4) == [(0, 3)]
+        assert s.chunks(10, 1, 4) == [(3, 6)]
+        assert s.chunks(10, 2, 4) == [(6, 8)]
+        assert s.chunks(10, 3, 4) == [(8, 10)]
+
+    def test_fewer_iterations_than_procs(self):
+        s = StaticSchedule()
+        assert s.chunks(2, 0, 4) == [(0, 1)]
+        assert s.chunks(2, 3, 4) == []
+
+    def test_single_proc_gets_all(self):
+        assert StaticSchedule().chunks(7, 0, 1) == [(0, 7)]
+
+    def test_invalid_pid(self):
+        with pytest.raises(ConfigurationError):
+            StaticSchedule().chunks(8, 4, 4)
+
+    @given(st.integers(0, 200), st.integers(1, 16))
+    def test_partition_property(self, n, nprocs):
+        assert coverage(StaticSchedule(), n, nprocs) == [1] * n
+
+    @given(st.integers(0, 100), st.integers(1, 9))
+    def test_contiguous_and_ordered(self, n, nprocs):
+        prev_hi = 0
+        for pid in range(nprocs):
+            for lo, hi in StaticSchedule().chunks(n, pid, nprocs):
+                assert lo == prev_hi
+                prev_hi = hi
+        assert prev_hi == n
+
+
+class TestChunkSchedules:
+    @given(st.integers(0, 150), st.integers(1, 8), st.integers(1, 10))
+    def test_chunked_partition_property(self, n, nprocs, chunk):
+        assert coverage(StaticChunkSchedule(chunk), n, nprocs) == [1] * n
+
+    def test_chunk_round_robin(self):
+        s = StaticChunkSchedule(2)
+        assert s.chunks(10, 0, 2) == [(0, 2), (4, 6), (8, 10)]
+        assert s.chunks(10, 1, 2) == [(2, 4), (6, 8)]
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            StaticChunkSchedule(0)
+
+    @given(st.integers(0, 100), st.integers(1, 8))
+    def test_interleaved_partition_property(self, n, nprocs):
+        assert coverage(InterleavedSchedule(), n, nprocs) == [1] * n
+
+
+class TestProgramModel:
+    def _noop_body(self, ctx, lo, hi, args):
+        yield from ctx.compute(0.0)
+
+    def test_duplicate_loop_names_rejected(self):
+        loops = [
+            ParallelFor("a", 4, self._noop_body),
+            ParallelFor("a", 4, self._noop_body),
+        ]
+        with pytest.raises(ConfigurationError):
+            OmpProgram("p", loops, driver=lambda omp: iter(()))
+
+    def test_loop_lookup(self):
+        loop = ParallelFor("a", 4, self._noop_body)
+        prog = OmpProgram("p", [loop], driver=lambda omp: iter(()))
+        assert prog.loop("a") is loop
+        with pytest.raises(ConfigurationError):
+            prog.loop("b")
+
+    def test_callable_iteration_count(self):
+        loop = ParallelFor("a", lambda args: args["n"], self._noop_body)
+        assert loop.iteration_count({"n": 12}) == 12
+
+    def test_negative_trip_count_rejected(self):
+        loop = ParallelFor("a", -1, self._noop_body)
+        with pytest.raises(ConfigurationError):
+            loop.iteration_count(None)
+
+    def test_undeclared_loop_caught_at_run(self):
+        from repro.errors import SimulationError
+
+        def driver(omp):
+            yield from omp.parallel_for("ghost")
+
+        prog = OmpProgram("p", [ParallelFor("a", 4, self._noop_body)], driver)
+        sim, rt, pool = build_system(nprocs=2)
+        with pytest.raises(SimulationError):
+            rt.run(compile_openmp(prog))
+
+
+class TestLowering:
+    def test_compiled_program_partitions_iterations(self):
+        """Each iteration executed exactly once, by the right process."""
+        sim, rt, pool = build_system(nprocs=3)
+        executed = []
+
+        def body(ctx, lo, hi, args):
+            executed.extend((ctx.pid, i) for i in range(lo, hi))
+            yield from ctx.compute(1e-6 * (hi - lo))
+
+        def driver(omp):
+            yield from omp.parallel_for("loop")
+
+        prog = OmpProgram("p", [ParallelFor("loop", 10, body)], driver)
+        rt.run(compile_openmp(prog))
+        iters = sorted(i for _, i in executed)
+        assert iters == list(range(10))
+        # static schedule: pid 0 gets the remainder-boosted first block
+        assert sorted(i for p, i in executed if p == 0) == [0, 1, 2, 3]
+
+    def test_repartitioning_follows_nprocs(self):
+        """The same compiled region adapts its chunks to the team size —
+        the property transparent adaptation relies on."""
+        from repro.openmp.compiler import _lower_loop
+
+        counts = {}
+
+        def body(ctx, lo, hi, args):
+            counts.setdefault(ctx.pid, 0)
+            counts[ctx.pid] += hi - lo
+            yield from ctx.compute(0)
+
+        region = _lower_loop(ParallelFor("loop", 12, body))
+
+        class FakeCtx:
+            pid = 0
+
+            def compute(self, s):
+                return iter(())
+
+        for nprocs in (2, 3, 4):
+            counts.clear()
+            for _ in region(FakeCtx(), 0, nprocs, None):
+                pass
+            assert counts[0] == 12 // nprocs
+
+    def test_end_to_end_data_parallel_loop(self):
+        """Full pipeline: OpenMP program -> compiler -> DSM -> correct data."""
+        from repro.dsm import Protocol, SharedArray
+
+        sim, rt, pool = build_system(nprocs=4)
+        seg = rt.malloc("v", shape=(128,), dtype="float64")
+        arr = SharedArray(seg)
+
+        def init_body(ctx, lo, hi, args):
+            # lo..hi rows of a 1-element "matrix" == elements
+            yield from ctx.access(arr.seg, writes=arr.elements(lo, hi))
+            if ctx.materialized:
+                arr.view(ctx)[lo:hi] = np.arange(lo, hi, dtype=np.float64)
+
+        def square_body(ctx, lo, hi, args):
+            yield from ctx.access(
+                arr.seg, reads=arr.elements(lo, hi), writes=arr.elements(lo, hi)
+            )
+            if ctx.materialized:
+                v = arr.view(ctx)
+                v[lo:hi] = v[lo:hi] ** 2
+
+        def check(ctx):
+            yield from ctx.access(arr.seg, reads=arr.full())
+            np.testing.assert_array_equal(
+                arr.view(ctx), np.arange(128.0) ** 2
+            )
+
+        def driver(omp):
+            yield from omp.parallel_for("init")
+            yield from omp.parallel_for("square")
+            yield from omp.serial(check)
+
+        prog = OmpProgram(
+            "squares",
+            [ParallelFor("init", 128, init_body), ParallelFor("square", 128, square_body)],
+            driver,
+        )
+        rt.run(compile_openmp(prog))
+
+    def test_adaptable_flag_carried(self):
+        prog = OmpProgram(
+            "p",
+            [ParallelFor("a", 1, lambda ctx, lo, hi, args: iter(()))],
+            lambda omp: iter(()),
+            adaptable=False,
+        )
+        assert compile_openmp(prog).adaptable is False

@@ -1,0 +1,123 @@
+"""Tests for the §7 strip-mining transform."""
+
+import numpy as np
+import pytest
+
+from repro.dsm import SharedArray
+from repro.errors import ConfigurationError
+from repro.openmp import OmpProgram, ParallelFor, compile_openmp, strip_mine
+
+from ..helpers import build_adaptive, build_system
+
+
+def counting_program(n=30, record=None):
+    record = record if record is not None else []
+
+    def body(ctx, lo, hi, args):
+        record.extend(range(lo, hi))
+        yield from ctx.compute((hi - lo) * 1e-5)
+
+    def driver(omp):
+        yield from omp.parallel_for("loop")
+
+    return OmpProgram("count", [ParallelFor("loop", n, body)], driver), record
+
+
+class TestStripMine:
+    def test_identity_when_one_strip(self):
+        prog, _ = counting_program()
+        assert strip_mine(prog, "loop", 1) is prog
+
+    def test_invalid_strip_count(self):
+        prog, _ = counting_program()
+        with pytest.raises(ConfigurationError):
+            strip_mine(prog, "loop", 0)
+
+    def test_unknown_loop(self):
+        prog, _ = counting_program()
+        with pytest.raises(ConfigurationError):
+            strip_mine(prog, "ghost", 2)
+
+    @pytest.mark.parametrize("strips", [2, 3, 7])
+    def test_iterations_covered_exactly_once(self, strips):
+        sim, rt, pool = build_system(nprocs=3, materialized=False)
+        prog, record = counting_program(n=31)
+        mined = strip_mine(prog, "loop", strips)
+        rt.run(compile_openmp(mined))
+        assert sorted(record) == list(range(31))
+
+    def test_creates_more_adaptation_points(self):
+        def run(strips):
+            sim, rt, pool = build_system(nprocs=2, materialized=False)
+            prog, _ = counting_program(n=24)
+            mined = strip_mine(prog, "loop", strips)
+            res = rt.run(compile_openmp(mined))
+            return res.forks
+
+        assert run(1) == 1
+        assert run(4) == 4
+
+    def test_data_results_identical_after_mining(self):
+        def run(strips):
+            sim, rt, pool = build_system(nprocs=3)
+            seg = rt.malloc("v", shape=(64,), dtype="float64")
+            arr = SharedArray(seg)
+
+            def body(ctx, lo, hi, args):
+                yield from ctx.access(
+                    arr.seg, reads=arr.elements(lo, hi), writes=arr.elements(lo, hi)
+                )
+                arr.view(ctx)[lo:hi] += np.arange(lo, hi)
+
+            def collectf(ctx):
+                yield from ctx.access(arr.seg, reads=arr.full())
+                return None
+
+            out = {}
+
+            def driver(omp):
+                yield from omp.parallel_for("add")
+                yield from omp.parallel_for("add")
+                yield from omp.serial(collectf)
+                out["v"] = arr.view(omp.ctx).copy()
+
+            prog = OmpProgram("p", [ParallelFor("add", 64, body)], driver)
+            if strips > 1:
+                prog = strip_mine(prog, "add", strips)
+            rt.run(compile_openmp(prog))
+            return out["v"]
+
+        np.testing.assert_array_equal(run(1), run(4))
+
+    def test_mined_program_reacts_to_leave_sooner(self):
+        """The point of §7: more adaptation points => leaves are serviced
+        sooner (no urgent migration needed)."""
+
+        def run(strips):
+            sim, rt, pool = build_adaptive(nprocs=3, extra_nodes=0)
+            done = {}
+
+            def body(ctx, lo, hi, args):
+                yield from ctx.compute((hi - lo) * 0.1)  # 1 s per 10 iters
+
+            def driver(omp):
+                for it in range(3):
+                    yield from omp.parallel_for("work", it)
+
+            prog = OmpProgram("p", [ParallelFor("work", 30, body)], driver)
+            if strips > 1:
+                prog = strip_mine(prog, "work", strips)
+            req = {}
+            sim.schedule(0.1, lambda: req.setdefault("r", rt.submit_leave(2, grace=1e9)))
+            res = rt.run(compile_openmp(prog))
+            return req["r"].completed_at - req["r"].submitted_at
+
+        latency_plain = run(1)
+        latency_mined = run(5)
+        assert latency_mined < latency_plain
+
+    def test_adaptable_flag_preserved(self):
+        prog, _ = counting_program()
+        prog.adaptable = False
+        mined = strip_mine(prog, "loop", 3)
+        assert mined.adaptable is False

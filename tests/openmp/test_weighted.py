@@ -1,0 +1,60 @@
+"""Tests for the heterogeneous-NOW weighted schedule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.openmp import OmpProgram, ParallelFor, WeightedSchedule, compile_openmp, coverage
+
+from ..helpers import build_system
+
+
+class TestWeightedSchedule:
+    def test_equal_weights_is_block(self):
+        s = WeightedSchedule(weights=(1.0, 1.0, 1.0, 1.0))
+        assert s.chunks(8, 0, 4) == [(0, 2)]
+        assert s.chunks(8, 3, 4) == [(6, 8)]
+
+    def test_proportional_split(self):
+        s = WeightedSchedule(weights=(3.0, 1.0))
+        assert s.chunks(8, 0, 2) == [(0, 6)]
+        assert s.chunks(8, 1, 2) == [(6, 8)]
+
+    def test_missing_weights_default_to_one(self):
+        s = WeightedSchedule(weights=(2.0,))
+        total0 = s.chunks(9, 0, 3)[0]
+        assert total0 == (0, 5)  # 2/(2+1+1) of 9 = 4.5, largest remainder
+
+    def test_positive_weights_required(self):
+        with pytest.raises(ConfigurationError):
+            WeightedSchedule(weights=(1.0, 0.0))
+
+    @given(
+        st.integers(0, 200),
+        st.lists(st.floats(0.25, 4.0), min_size=1, max_size=8),
+    )
+    def test_partition_property(self, n, weights):
+        s = WeightedSchedule(weights=tuple(weights))
+        assert coverage(s, n, len(weights)) == [1] * n
+
+    def test_slow_node_gets_less_work_end_to_end(self):
+        sim, rt, pool = build_system(nprocs=3, materialized=False)
+        pool.node(2).speed = 0.5
+        done = {}
+
+        def body(ctx, lo, hi, args):
+            done[ctx.pid] = done.get(ctx.pid, 0) + hi - lo
+            yield from ctx.compute((hi - lo) * 1e-4)
+
+        loop = ParallelFor(
+            "w", 120, body, schedule=WeightedSchedule(weights=(1.0, 1.0, 0.5))
+        )
+
+        def driver(omp):
+            yield from omp.parallel_for("w")
+
+        res = rt.run(compile_openmp(OmpProgram("het", [loop], driver)))
+        assert done[2] < done[0]
+        assert sum(done.values()) == 120
+        # matched weights: everyone finishes at about the same time
+        assert res.runtime_seconds < 120 * 1e-4 / 2 * 1.3

@@ -1,0 +1,212 @@
+"""Tests for channels, stores, resources, tracer and random streams."""
+
+import pytest
+
+from repro.simcore import Channel, RandomStreams, Resource, Simulator, Store, substream_seed
+
+
+class TestChannel:
+    def test_put_then_recv(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        got = []
+
+        def receiver():
+            msg = yield chan.recv()
+            got.append((sim.now, msg))
+
+        chan.put("hello")
+        sim.process(receiver())
+        sim.run()
+        assert got == [(0.0, "hello")]
+
+    def test_recv_blocks_until_put(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        got = []
+
+        def receiver():
+            msg = yield chan.recv()
+            got.append((sim.now, msg))
+
+        def sender():
+            yield sim.timeout(4.0)
+            chan.put("late")
+
+        sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert got == [(4.0, "late")]
+
+    def test_fifo_order_multiple_messages(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        got = []
+
+        def receiver():
+            for _ in range(3):
+                msg = yield chan.recv()
+                got.append(msg)
+
+        for i in range(3):
+            chan.put(i)
+        sim.process(receiver())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_matching_recv_skips_non_matching(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        got = []
+
+        def receiver():
+            msg = yield chan.recv(match=lambda m: m % 2 == 0)
+            got.append(msg)
+
+        chan.put(1)
+        chan.put(3)
+        chan.put(4)
+        sim.process(receiver())
+        sim.run()
+        assert got == [4]
+        assert chan.try_recv() == 1
+        assert chan.try_recv() == 3
+
+    def test_matching_put_wakes_correct_waiter(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        got = []
+
+        def waiter(tag):
+            msg = yield chan.recv(match=lambda m, tag=tag: m[0] == tag)
+            got.append(msg)
+
+        sim.process(waiter("b"))
+        sim.process(waiter("a"))
+
+        def sender():
+            yield sim.timeout(1.0)
+            chan.put(("a", 1))
+            chan.put(("b", 2))
+
+        sim.process(sender())
+        sim.run()
+        assert sorted(got) == [("a", 1), ("b", 2)]
+
+    def test_try_recv_empty_returns_none(self):
+        sim = Simulator()
+        chan = Channel(sim)
+        assert chan.try_recv() is None
+
+
+class TestStore:
+    def test_put_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        store.put(99)
+        sim.process(consumer())
+        sim.run()
+        assert got == [99]
+        assert store.try_get() is None
+
+    def test_len(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestResource:
+    def test_mutual_exclusion_serializes(self):
+        sim = Simulator()
+        cpu = Resource(sim, capacity=1)
+        spans = []
+
+        def worker(i):
+            yield cpu.acquire()
+            start = sim.now
+            yield sim.timeout(1.0)
+            cpu.release()
+            spans.append((i, start, sim.now))
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        assert spans == [(0, 0.0, 1.0), (1, 1.0, 2.0), (2, 2.0, 3.0)]
+
+    def test_capacity_two_allows_overlap(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        spans = []
+
+        def worker(i):
+            yield res.acquire()
+            start = sim.now
+            yield sim.timeout(1.0)
+            res.release()
+            spans.append((i, start))
+
+        for i in range(4):
+            sim.process(worker(i))
+        sim.run()
+        starts = [s for _, s in spans]
+        assert starts == [0.0, 0.0, 1.0, 1.0]
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        sim.tracer.emit("cat", "subj")
+        assert sim.tracer.records == []
+
+    def test_records_time_and_filtering(self):
+        sim = Simulator(trace=True)
+
+        def proc():
+            yield sim.timeout(2.0)
+            sim.tracer.emit("adapt", "join", {"pid": 3})
+            yield sim.timeout(1.0)
+            sim.tracer.emit("adapt", "leave")
+            sim.tracer.emit("dsm", "fault")
+
+        sim.process(proc())
+        sim.run()
+        assert [r.time for r in sim.tracer.select(category="adapt")] == [2.0, 3.0]
+        assert sim.tracer.select(subject="fault")[0].category == "dsm"
+        assert sim.tracer.categories() == {"adapt", "dsm"}
+        assert "join" in sim.tracer.format()
+
+
+class TestRandomStreams:
+    def test_substreams_are_independent(self):
+        streams = RandomStreams(123)
+        a1 = streams.stream("a").random(5).tolist()
+        streams2 = RandomStreams(123)
+        _ = streams2.stream("b").random(100)  # consume another stream heavily
+        a2 = streams2.stream("a").random(5).tolist()
+        assert a1 == a2
+
+    def test_different_names_differ(self):
+        assert substream_seed(1, "x") != substream_seed(1, "y")
+
+    def test_different_seeds_differ(self):
+        assert substream_seed(1, "x") != substream_seed(2, "x")
+
+    def test_uniform_in_range(self):
+        streams = RandomStreams(7)
+        for _ in range(100):
+            u = streams.uniform("u")
+            assert 0.0 <= u < 1.0

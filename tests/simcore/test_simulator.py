@@ -1,0 +1,287 @@
+"""Tests for the discrete-event engine: scheduling, ordering, clock."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simcore import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append("b"))
+    sim.schedule(1.0, lambda: seen.append("a"))
+    sim.schedule(3.0, lambda: seen.append("c"))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(1.0, lambda i=i: seen.append(i))
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_priority_overrides_insertion_order():
+    from repro.simcore import URGENT
+
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append("normal"))
+    sim.schedule(1.0, lambda: seen.append("urgent"), priority=URGENT)
+    sim.run()
+    assert seen == ["urgent", "normal"]
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_run_until_past_last_event_advances_clock():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_event_cancellation():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule(1.0, lambda: seen.append("x"))
+    ev.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_nested_scheduling_from_event():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.schedule(1.0, lambda: seen.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(1))
+    sim.schedule(2.0, lambda: seen.append(2))
+    assert sim.step()
+    assert seen == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+class TestProcesses:
+    def test_process_timeout_sequence(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            times.append(sim.now)
+            yield sim.timeout(1.5)
+            times.append(sim.now)
+            yield sim.timeout(0.5)
+            times.append(sim.now)
+
+        sim.process(proc(), name="p")
+        sim.run()
+        assert times == [0.0, 1.5, 2.0]
+
+    def test_process_return_value_via_join(self):
+        sim = Simulator()
+        result = []
+
+        def child():
+            yield sim.timeout(1.0)
+            return 42
+
+        def parent():
+            value = yield sim.process(child(), name="child")
+            result.append(value)
+
+        sim.process(parent(), name="parent")
+        sim.run()
+        assert result == [42]
+
+    def test_join_already_finished_process(self):
+        sim = Simulator()
+        result = []
+
+        def child():
+            return "done"
+            yield  # pragma: no cover
+
+        def parent():
+            proc = sim.process(child(), name="child")
+            yield sim.timeout(5.0)
+            value = yield proc
+            result.append((sim.now, value))
+
+        sim.process(parent(), name="parent")
+        sim.run()
+        assert result == [(5.0, "done")]
+
+    def test_signal_broadcast_to_multiple_waiters(self):
+        sim = Simulator()
+        sig = sim.signal("go")
+        woken = []
+
+        def waiter(i):
+            value = yield sig
+            woken.append((i, sim.now, value))
+
+        for i in range(3):
+            sim.process(waiter(i), name=f"w{i}")
+
+        def firer():
+            yield sim.timeout(2.0)
+            sig.fire("payload")
+
+        sim.process(firer(), name="firer")
+        sim.run()
+        assert woken == [(0, 2.0, "payload"), (1, 2.0, "payload"), (2, 2.0, "payload")]
+
+    def test_signal_fire_twice_is_error(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.fire()
+        with pytest.raises(SimulationError):
+            sig.fire()
+
+    def test_wait_on_already_fired_signal(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.fire(7)
+        got = []
+
+        def waiter():
+            v = yield sig
+            got.append(v)
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [7]
+
+    def test_process_exception_propagates_from_run(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        sim.process(bad(), name="bad")
+        with pytest.raises(SimulationError) as exc:
+            sim.run()
+        assert isinstance(exc.value.__cause__, ValueError)
+
+    def test_yield_non_waitable_is_error(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad(), name="bad")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_interrupt_wakes_blocked_process(self):
+        from repro.errors import InterruptedError_
+
+        sim = Simulator()
+        events = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+                events.append("slept")
+            except InterruptedError_ as err:
+                events.append(("interrupted", sim.now, err.cause))
+
+        proc = sim.process(sleeper(), name="sleeper")
+
+        def interrupter():
+            yield sim.timeout(3.0)
+            proc.interrupt("wake up")
+
+        sim.process(interrupter(), name="int")
+        sim.run()
+        assert events == [("interrupted", 3.0, "wake up")]
+
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(0.1)
+
+        proc = sim.process(quick())
+        sim.run()
+        proc.interrupt("late")  # no exception
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+
+        def stuck():
+            yield sim.signal("never")
+
+        sim.process(stuck(), name="stuck")
+        with pytest.raises(DeadlockError, match="stuck"):
+            sim.run()
+
+    def test_daemon_process_does_not_deadlock(self):
+        sim = Simulator()
+
+        def stuck():
+            yield sim.signal("never")
+
+        sim.process(stuck(), name="bg", daemon=True)
+        sim.run()  # no error
+
+    def test_determinism_across_runs(self):
+        def build():
+            sim = Simulator()
+            log = []
+
+            def worker(i):
+                for k in range(3):
+                    yield sim.timeout(0.5 * (i + 1))
+                    log.append((sim.now, i, k))
+
+            for i in range(4):
+                sim.process(worker(i), name=f"w{i}")
+            sim.run()
+            return log
+
+        assert build() == build()

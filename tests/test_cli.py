@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_event, build_parser, main
+
+
+class TestParsing:
+    def test_event_parse_full(self):
+        assert _parse_event("leave:1.5:3") == ("leave", 1.5, 3)
+
+    def test_event_parse_default_node(self):
+        assert _parse_event("join:0.25") == ("join", 0.25, None)
+
+    def test_event_parse_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_event("crash:1.0")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_event("leave")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("jacobi", "gauss", "fft3d", "nbf"):
+            assert name in out
+        for preset in ("paper", "bench", "tiny"):
+            assert preset in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "ns/op" in out and "1,404.20" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "0.500" in out and "0.286" in out
+
+    def test_migration(self, capsys):
+        assert main(["migration"]) == 0
+        out = capsys.readouterr().out
+        assert "8.1" in out or "image" in out
+
+    def test_micro(self, capsys):
+        assert main(["micro"]) == 0
+        assert "round trip" in capsys.readouterr().out
+
+    def test_run_materialized_with_events(self, capsys):
+        rc = main([
+            "run", "jacobi", "--preset", "tiny", "--nprocs", "3",
+            "--materialized", "--event", "leave:0.01:2", "--grace", "60",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verification vs sequential reference: OK" in out
+        assert "adapt events" in out
+
+    def test_run_traced_default(self, capsys):
+        rc = main(["run", "nbf", "--preset", "tiny", "--nprocs", "2"])
+        assert rc == 0
+        assert "simulated runtime" in capsys.readouterr().out
+
+    def test_run_unknown_app(self, capsys):
+        assert main(["run", "linpack"]) == 2
