@@ -1,13 +1,19 @@
 #!/usr/bin/env python
 """Fault tolerance (§4.3): checkpoint at adaptation points, then recover.
 
-Runs an iterative kernel with periodic checkpointing, "crashes" the whole
-NOW mid-run (power flicker), and recovers on a *different* cluster from
-the latest checkpoint.  Because checkpoints are taken at adaptation
-points, only the master's image plus the garbage-collected shared pages
-are saved — the slaves hold no recoverable state.  The kernel keeps its
-iteration counter in shared memory, so the restarted driver resumes where
-the checkpoint left off.
+Three phases:
+
+1. run an iterative kernel with periodic checkpointing and "crash" the
+   whole NOW mid-run (power flicker);
+2. recover on a *different* cluster from the latest checkpoint — because
+   checkpoints are taken at adaptation points, only the master's image
+   plus the garbage-collected shared pages are saved;
+3. fail-stop a single slave node mid-run and let the *live* runtime
+   detect it via heartbeats and recover in place: rebuild the team from
+   survivors plus an idle spare, reload the checkpoint, and replay.
+
+The kernel keeps its iteration counter in shared memory, so a restarted
+driver resumes where the checkpoint left off.
 
 Run:  python examples/fault_tolerance.py
 """
@@ -67,12 +73,14 @@ def build(rt, label):
     return TmkProgram({"init": init, "step": step}, driver, "ft-demo"), arr, ctr
 
 
-def fresh_cluster(nprocs):
+def fresh_cluster(nprocs, extra_nodes=0, **runtime_kw):
     sim = Simulator()
     cfg = SystemConfig()
     pool = NodePool(sim, Switch(sim, cfg.network))
-    rt = AdaptiveRuntime(sim, cfg, pool.add_nodes(nprocs), pool,
-                         checkpoint_interval=0.1)
+    team = pool.add_nodes(nprocs)
+    pool.add_nodes(extra_nodes)
+    rt = AdaptiveRuntime(sim, cfg, team, pool,
+                         checkpoint_interval=0.1, **runtime_kw)
     return sim, rt
 
 
@@ -97,6 +105,24 @@ def main():
     res = rt2.run(prog2)
     print(f"    recovery run finished at t={res.runtime_seconds:.3f}s "
           f"on {rt2.team.nprocs} nodes")
+
+    print("== phase 3: live in-place recovery from a slave crash ==")
+    sim3, rt3 = fresh_cluster(4, extra_nodes=1, failure_detection=True)
+    prog3, *_ = build(rt3, "live recovery")
+    victim = rt3.team.node_of(2)
+    sim3.schedule(1.6, lambda: rt3.inject_crash(victim))
+    res3 = rt3.run(prog3)
+    rec = res3.recoveries[0]
+    src = ("cold restart" if rec.checkpoint_time is None
+           else f"checkpoint at t={rec.checkpoint_time:.3f}s")
+    print(f"    node {victim} crashed at t=1.6s; detected by {rec.reason} "
+          f"after {rec.detection_latency * 1e3:.0f}ms")
+    print(f"    team rebuilt {rec.nprocs_before}->{rec.nprocs_after} procs, "
+          f"restored from {src} in {rec.restore_seconds:.3f}s "
+          f"({rec.lost_work_seconds:.3f}s of work lost)")
+    print(f"    finished at t={res3.runtime_seconds:.3f}s with "
+          f"{res3.heartbeats_sent} heartbeats "
+          f"({res3.false_suspicions} false suspicions)")
 
 
 if __name__ == "__main__":

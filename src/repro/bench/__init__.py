@@ -30,6 +30,13 @@ from .calibrate import (
     make_nbf,
 )
 from .harness import ExperimentResult, nonadaptive_times, run_experiment
+from .recovery import (
+    RecoveryPoint,
+    ResumableJacobi,
+    make_recovery_jacobi,
+    recovery_sweep,
+    sweep_rows,
+)
 from .paper_data import (
     ADAPTATION_POINT_SPACING,
     FIGURE3_MOVED,
@@ -78,4 +85,9 @@ __all__ = [
     "ratio_note",
     "run_experiment",
     "speedup",
+    "RecoveryPoint",
+    "ResumableJacobi",
+    "make_recovery_jacobi",
+    "recovery_sweep",
+    "sweep_rows",
 ]

@@ -34,6 +34,13 @@ class ExperimentResult:
     forks: int
     app: AppKernel
     runtime: Any = field(repr=False, default=None)
+    #: :class:`~repro.core.recovery.RecoveryRecord` per crash recovery.
+    recoveries: List[Any] = field(default_factory=list)
+    dropped: int = 0
+    retransmissions: int = 0
+    heartbeats_sent: int = 0
+    heartbeat_misses: int = 0
+    false_suspicions: int = 0
 
     @property
     def pages(self) -> int:
@@ -101,6 +108,12 @@ def run_experiment(
         forks=result.forks,
         app=app,
         runtime=runtime,
+        recoveries=list(result.recoveries),
+        dropped=result.dropped,
+        retransmissions=result.retransmissions,
+        heartbeats_sent=result.heartbeats_sent,
+        heartbeat_misses=result.heartbeat_misses,
+        false_suspicions=result.false_suspicions,
     )
 
 

@@ -39,9 +39,10 @@ PRESETS = {"paper": PAPER, "bench": BENCH, "tiny": TINY}
 def _parse_event(spec: str):
     """``action:time[:node]`` -> (action, time, node)."""
     parts = spec.split(":")
-    if len(parts) not in (2, 3) or parts[0] not in ("join", "leave"):
+    if len(parts) not in (2, 3) or parts[0] not in ("join", "leave", "crash"):
         raise argparse.ArgumentTypeError(
-            f"bad event {spec!r}; expected join:TIME[:NODE] or leave:TIME[:NODE]"
+            f"bad event {spec!r}; expected join:TIME[:NODE], leave:TIME[:NODE] "
+            f"or crash:TIME[:NODE]"
         )
     action = parts[0]
     time = float(parts[1])
@@ -87,23 +88,55 @@ def cmd_run(args) -> int:
     preset = PRESETS[args.preset]
     factory = preset[args.app].make
 
+    plan = None
+    if args.faults:
+        from .errors import FaultError
+        from .faults import parse_plan_file
+
+        try:
+            plan = parse_plan_file(args.faults)
+        except (FaultError, OSError) as err:
+            print(f"bad fault plan {args.faults!r}: {err}", file=sys.stderr)
+            return 2
+
+    has_crashes = plan is not None or any(
+        action == "crash" for action, _, _ in args.event or []
+    )
+    adaptive = (
+        args.adaptive or bool(args.event) or plan is not None
+        or args.checkpoint_interval is not None
+    )
+    runtime_kwargs = {}
+    if args.checkpoint_interval is not None:
+        runtime_kwargs["checkpoint_interval"] = args.checkpoint_interval
+    if args.failure_detection or has_crashes:
+        runtime_kwargs["failure_detection"] = True
+
     def install(rt):
         default_leave = rt.team.nprocs - 1
         for action, time, node in args.event or []:
             if action == "leave":
                 node_id = node if node is not None else default_leave
                 rt.sim.at(time, lambda n=node_id: rt.submit_leave(n, grace=args.grace))
+            elif action == "crash":
+                node_id = node if node is not None else default_leave
+                rt.sim.at(time, lambda n=node_id: rt.inject_crash(n))
             else:
                 node_id = node if node is not None else rt.team.nprocs
                 rt.sim.at(time, lambda n=node_id: rt.submit_join(n))
+        if plan is not None:
+            from .faults import FaultInjector
+
+            FaultInjector(rt, plan).install()
 
     res = run_experiment(
         factory,
         nprocs=args.nprocs,
-        adaptive=args.adaptive or bool(args.event),
+        adaptive=adaptive,
         extra_nodes=args.extra_nodes,
         materialized=args.materialized,
-        events=install if args.event else None,
+        events=install if (args.event or plan is not None) else None,
+        runtime_kwargs=runtime_kwargs if adaptive else None,
     )
     rows = [
         ["simulated runtime (s)", f"{res.runtime_seconds:.3f}"],
@@ -114,12 +147,28 @@ def cmd_run(args) -> int:
         ["fork/join constructs", res.forks],
         ["adapt events", res.adaptations],
     ]
+    if res.dropped or res.retransmissions:
+        rows.append(["messages dropped", res.dropped])
+        rows.append(["retransmissions", res.retransmissions])
+    if runtime_kwargs.get("failure_detection"):
+        rows.append(["heartbeats sent", res.heartbeats_sent])
+        rows.append(["heartbeat misses", res.heartbeat_misses])
+        rows.append(["false suspicions", res.false_suspicions])
+        rows.append(["crash recoveries", len(res.recoveries)])
     print(format_table(["metric", "value"], rows,
                        title=f"{args.app} ({args.preset} preset) on {args.nprocs} nodes"))
     for rec in res.adapt_records:
         print(f"  t={rec.time:.3f}s joins={rec.joins} leaves={rec.leaves} "
               f"urgent={rec.urgent_leaves} team {rec.nprocs_before}->"
               f"{rec.nprocs_after} cost={rec.duration * 1e3:.1f}ms")
+    for rec in res.recoveries:
+        ckpt = "cold restart" if rec.checkpoint_time is None else (
+            f"checkpoint t={rec.checkpoint_time:.3f}s"
+        )
+        print(f"  recovery t={rec.time:.3f}s nodes={rec.crashed_nodes} "
+              f"({rec.reason}) detect={rec.detection_latency * 1e3:.0f}ms "
+              f"restore={rec.restore_seconds:.3f}s "
+              f"lost={rec.lost_work_seconds:.3f}s from {ckpt}")
     if args.materialized:
         try:
             ok = res.app.verify(rtol=1e-7, atol=1e-9)
@@ -208,6 +257,25 @@ def cmd_migration(args) -> int:
     return 0
 
 
+def cmd_recovery(args) -> int:
+    from .bench import recovery_sweep, sweep_rows
+
+    intervals = [None] + [float(v) for v in (args.intervals or "0.1,0.2,0.4").split(",")]
+    points = recovery_sweep(
+        intervals=intervals,
+        nprocs=args.nprocs,
+        crash_fraction=args.crash_fraction,
+    )
+    print(format_table(
+        ["interval (s)", "t (s)", "overhead (s)", "ckpts", "detect (ms)",
+         "restore (s)", "lost (s)", "verify"],
+        sweep_rows(points),
+        title=f"Jacobi crash-recovery cost vs. checkpoint interval "
+              f"({args.nprocs} nodes, crash at {args.crash_fraction:.0%} of run)",
+    ))
+    return 0 if all(p.verified in (True, None) for p in points) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -236,8 +304,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="grace period for scripted leaves (s)")
     run.add_argument("--event", action="append", type=_parse_event,
                      metavar="ACTION:TIME[:NODE]",
-                     help="schedule an adapt event (repeatable)")
+                     help="schedule an adapt event or crash (repeatable)")
+    run.add_argument("--faults", metavar="FILE", default=None,
+                     help="replay a fault plan file (crashes, partitions, "
+                          "message duplication/delay)")
+    run.add_argument("--checkpoint-interval", type=float, default=None,
+                     help="checkpoint period in simulated seconds")
+    run.add_argument("--failure-detection", action="store_true",
+                     help="run the heartbeat failure detector (implied by "
+                          "crash events and --faults)")
     run.set_defaults(fn=cmd_run)
+
+    rec = sub.add_parser(
+        "recovery", help="crash-recovery cost vs. checkpoint interval (Jacobi)"
+    )
+    rec.add_argument("--nprocs", type=int, default=4)
+    rec.add_argument("--intervals", default=None,
+                     help="comma-separated checkpoint intervals in seconds")
+    rec.add_argument("--crash-fraction", type=float, default=0.55,
+                     help="crash instant as a fraction of the fault-free run")
+    rec.set_defaults(fn=cmd_recovery)
     return parser
 
 

@@ -19,7 +19,7 @@ from typing import Generator, List, Literal, Optional, Sequence, Tuple, Union
 from ..core.adaptation import RequestState
 from ..errors import AdaptationError
 
-Action = Literal["join", "leave"]
+Action = Literal["join", "leave", "crash"]
 PidSelector = Union[int, Literal["end", "middle"]]
 
 
@@ -47,6 +47,8 @@ class EventScript:
     def _fire(self, ev: ScriptedEvent) -> None:
         if ev.action == "join":
             self.runtime.submit_join(ev.node_id)
+        elif ev.action == "crash":
+            self.runtime.inject_crash(ev.node_id)
         else:
             self.runtime.submit_leave(ev.node_id, grace=ev.grace)
         self.submitted.append(ev)

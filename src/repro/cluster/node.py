@@ -36,6 +36,10 @@ class Node:
         self.in_pool = True
         #: Accumulated compute seconds executed on this CPU.
         self.busy_time = 0.0
+        #: True after a fail-stop crash; the node never comes back.
+        self.crashed = False
+        #: Simulated time of the crash (None while healthy).
+        self.crashed_at: Optional[float] = None
 
     @property
     def multiplex_factor(self) -> int:
@@ -78,8 +82,25 @@ class Node:
 
     def rejoin(self) -> None:
         """The node becomes available again."""
+        if self.crashed:
+            raise RuntimeError(f"node {self.node_id} crashed and cannot rejoin")
         self.in_pool = True
         self.nic.reattach()
+
+    def crash(self, now: float) -> None:
+        """Fail-stop: power off the workstation, permanently.
+
+        All resident processes die with the machine (the caller kills their
+        coroutines); the NIC goes dark, so in-flight messages to this node
+        are lost and later sends raise :class:`~repro.errors.NetworkError`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashed_at = now
+        self.in_pool = False
+        self.resident_processes = 0
+        self.nic.detach()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Node {self.node_id} res={self.resident_processes} pool={self.in_pool}>"

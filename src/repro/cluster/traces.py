@@ -21,7 +21,7 @@ from .adapt_events import EventScript, ScriptedEvent
 @dataclass(frozen=True)
 class TraceEvent:
     time: float
-    action: str  # "join" | "leave"
+    action: str  # "join" | "leave" | "crash"
     node_id: int
     grace: Optional[float] = None
 
@@ -43,8 +43,12 @@ def parse_trace(source: Union[str, TextIO]) -> List[TraceEvent]:
         if len(parts) not in (3, 4):
             raise ConfigurationError(f"trace line {lineno}: expected 3-4 fields, got {raw!r}")
         time_s, action, node_s = parts[:3]
-        if action not in ("join", "leave"):
+        if action not in ("join", "leave", "crash"):
             raise ConfigurationError(f"trace line {lineno}: unknown action {action!r}")
+        if action == "crash" and len(parts) == 4:
+            raise ConfigurationError(
+                f"trace line {lineno}: crash takes no grace period"
+            )
         try:
             time = float(time_s)
             node = int(node_s)

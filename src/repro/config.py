@@ -182,6 +182,35 @@ class CheckpointParams:
 
 
 @dataclass(frozen=True)
+class FaultParams:
+    """Failure detection and crash recovery (fail-stop model).
+
+    The master probes every slave node over the ordinary NIC; a node that
+    misses ``suspicion_threshold`` consecutive probes is declared crashed
+    and recovery starts.  The interval/timeout trade detection latency
+    against heartbeat traffic and false suspicions on congested links.
+    """
+
+    #: Period between heartbeat rounds (0 disables the detector even when
+    #: the runtime asks for failure detection).
+    heartbeat_interval: float = 50.0e-3
+
+    #: How long after a probe the ack must arrive before it counts as a
+    #: miss.  Must exceed an uncontended round trip (126 µs) by a healthy
+    #: margin so handler-CPU contention does not produce false suspicions.
+    heartbeat_timeout: float = 20.0e-3
+
+    #: Consecutive missed probes before a node is declared crashed.
+    suspicion_threshold: int = 3
+
+    def validate(self) -> None:
+        if self.heartbeat_interval < 0 or self.heartbeat_timeout <= 0:
+            raise ConfigurationError("heartbeat interval/timeout must be positive")
+        if self.suspicion_threshold < 1:
+            raise ConfigurationError("suspicion_threshold must be >= 1")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Aggregate configuration for a simulated adaptive DSM system."""
 
@@ -189,6 +218,7 @@ class SystemConfig:
     dsm: DsmParams = field(default_factory=DsmParams)
     migration: MigrationParams = field(default_factory=MigrationParams)
     checkpoint: CheckpointParams = field(default_factory=CheckpointParams)
+    faults: FaultParams = field(default_factory=FaultParams)
 
     #: Default grace period for leave events (seconds).  The paper calls
     #: 3 s "a reasonable grace period".
@@ -208,6 +238,7 @@ class SystemConfig:
         self.dsm.validate()
         self.migration.validate()
         self.checkpoint.validate()
+        self.faults.validate()
         if self.grace_period < 0:
             raise ConfigurationError("grace_period must be >= 0")
 

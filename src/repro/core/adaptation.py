@@ -85,8 +85,8 @@ class AdaptationQueue:
         self.history: List[AdaptationRecord] = []
 
     def add_join(self, req: JoinRequest) -> None:
-        if any(j.node_id == req.node_id and j.state is not RequestState.DONE
-               for j in self.joins):
+        if any(j.node_id == req.node_id and j.state not in
+               (RequestState.DONE, RequestState.CANCELLED) for j in self.joins):
             raise AdaptationError(f"node {req.node_id} already has a pending join")
         self.joins.append(req)
 

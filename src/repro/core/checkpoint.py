@@ -75,7 +75,7 @@ class CheckpointManager:
 
         def fetch_one(page: int, owner: int) -> Generator:
             nonlocal active
-            reply = yield master.request(
+            reply = yield from master.request_reply(
                 mk.CKPT_PAGE_REQ, owner, {"page": page}, size=8
             )
             yield sim.timeout(runtime.cfg.network.page_service_client)
@@ -133,14 +133,13 @@ class CheckpointManager:
         )
 
 
-def restore_checkpoint(runtime, ckpt: Checkpoint) -> None:
-    """Load a checkpoint into a *fresh* runtime (before ``run``).
+def _install_segments(runtime, ckpt: Checkpoint) -> None:
+    """Load the checkpoint image into the current master's memory.
 
     The master becomes the valid owner of every shared page; every other
-    process starts cold, exactly as after recovery in the real system.
+    process's owner map points at the master, exactly as after recovery in
+    the real system.
     """
-    if runtime.fork_seq != 0:
-        raise CheckpointError("restore_checkpoint must precede run()")
     master = runtime.master
     for seg in runtime.space.segments.values():
         if master.materialized:
@@ -158,3 +157,25 @@ def restore_checkpoint(runtime, ckpt: Checkpoint) -> None:
     for proc in runtime.procs.values():
         if proc is not master:
             proc.owners = {p: master.pid for p in range(runtime.space.total_pages)}
+
+
+def restore_checkpoint(runtime, ckpt: Checkpoint) -> None:
+    """Load a checkpoint into a *fresh* runtime (before ``run``)."""
+    if runtime.fork_seq != 0:
+        raise CheckpointError("restore_checkpoint must precede run()")
+    _install_segments(runtime, ckpt)
+
+
+def restore_checkpoint_live(runtime, ckpt: Checkpoint) -> None:
+    """Load a checkpoint into a *running* runtime during crash recovery.
+
+    The caller (the recovery orchestrator) guarantees the computation is
+    quiesced and the process engines are freshly rebuilt: no open write
+    sets, zero vector clocks, empty interval logs.
+    """
+    if ckpt.total_pages != runtime.space.total_pages:
+        raise CheckpointError(
+            f"checkpoint covers {ckpt.total_pages} pages, "
+            f"address space has {runtime.space.total_pages}"
+        )
+    _install_segments(runtime, ckpt)

@@ -46,6 +46,9 @@ def connection_setup(runtime, req: JoinRequest) -> Generator:
             # The peer withdrew while we were connecting; the final
             # membership is fixed at the adaptation point anyway.
             continue
+    if req.state is RequestState.CANCELLED:
+        # Crash recovery cancelled this join while we were connecting.
+        return
     req.state = RequestState.READY
     req.ready_at = sim.now
     sim.tracer.emit("adapt", "join_ready", f"node{req.node_id}")

@@ -40,7 +40,9 @@ def absorb_leaver_pages(runtime, leaver) -> Generator:
 
     def fetch_one(page: int) -> Generator:
         nonlocal active, idx
-        reply = yield master.request(mk.PAGE_REQ, leaver.pid, {"page": page}, size=8)
+        reply = yield from master.request_reply(
+            mk.PAGE_REQ, leaver.pid, {"page": page}, size=8
+        )
         yield sim.timeout(runtime.cfg.network.page_service_client)
         pte = master._pte(page)
         if master.materialized:

@@ -27,8 +27,9 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional
 
 from ..dsm.process import DsmProcess
-from ..dsm.runtime import RunResult, TmkRuntime
+from ..dsm.runtime import RegionCtx, RunResult, TmkRuntime
 from ..errors import AdaptationError
+from ..faults.detector import FailureDetector
 from ..network import message as mk
 from ..simcore import RandomStreams
 from .adaptation import (
@@ -44,6 +45,7 @@ from .join import connection_setup, ship_page_map
 from .leave import absorb_leaver_pages
 from .migration import MigrationOutcome, migrate_process
 from .reassign import CompactShift, ReassignStrategy
+from .recovery import RecoveryRecord, run_recovery
 from .urgent import grace_watchdog, pick_migration_target
 
 
@@ -60,6 +62,7 @@ class AdaptiveRuntime(TmkRuntime):
         grace_policy: Optional[GracePolicy] = None,
         strategy: Optional[ReassignStrategy] = None,
         checkpoint_interval: Optional[float] = None,
+        failure_detection: bool = False,
     ):
         super().__init__(sim, cfg, nodes, materialized=materialized)
         self.pool = pool
@@ -71,6 +74,14 @@ class AdaptiveRuntime(TmkRuntime):
         self.migrations: List[MigrationOutcome] = []
         self._frozen = None
         self.adaptations = 0
+        self.failure_detection = failure_detection
+        self.detector = FailureDetector(self, cfg.faults) if failure_detection else None
+        self.recoveries: List[RecoveryRecord] = []
+        self._recovering = False
+        #: Nodes whose crash is being handled by the pending recovery.
+        self._crash_handled: set = set()
+        for proc in self.procs.values():
+            self._wire_process(proc)
 
     # ------------------------------------------------------------------
     # event submission (called by availability daemons or tests)
@@ -141,6 +152,145 @@ class AdaptiveRuntime(TmkRuntime):
         self.migrations.append(outcome)
 
     # ------------------------------------------------------------------
+    # failure detection & crash recovery
+    # ------------------------------------------------------------------
+    def run(self, program, until=None) -> RunResult:
+        if self.detector is not None:
+            self.detector.start()
+        return super().run(program, until=until)
+
+    def _wire_process(self, proc: DsmProcess) -> None:
+        """Install the runtime's hooks on a (new) DSM engine."""
+        proc.stall_hook = self.stall_check
+        if self.failure_detection:
+            proc.crash_hook = self._report_suspected_crash
+
+    def _find_node(self, node_id: int):
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        return self.pool.node(node_id)
+
+    def inject_crash(self, node_id: int) -> None:
+        """Fail-stop ``node_id`` right now: its processes die mid-step.
+
+        This only *creates* the failure; detection and recovery follow
+        through the heartbeat detector or request-timeout escalation (so a
+        run without ``failure_detection`` simply hangs or errors, exactly
+        like the base system would).
+        """
+        node = self._find_node(node_id)
+        if node.crashed:
+            return
+        node.crash(self.sim.now)
+        self.sim.tracer.emit("fault", "crash", f"node{node_id}")
+        for proc in list(self.procs.values()):
+            if proc.node is not node:
+                continue
+            handle = self._slave_procs.pop(proc, None)
+            if handle is not None and handle.alive:
+                handle.kill()
+            if proc.is_master and self._driver_proc is not None and self._driver_proc.alive:
+                self._driver_proc.kill()
+            proc.fail_stop()
+
+    def _report_suspected_crash(self, node_id: int, err: Exception) -> None:
+        """Escalation target for request timeouts (``DsmProcess.crash_hook``)."""
+        self.sim.tracer.emit("fault", "suspected", f"node{node_id}: {err}")
+        self._declare_crashed(node_id, reason="timeout")
+
+    def _declare_crashed(self, node_id: int, reason: str) -> None:
+        """Confirm a crash and launch recovery (idempotent per crash)."""
+        if self.finished or node_id in self._crash_handled:
+            return
+        self._crash_handled.add(node_id)
+        node = self._find_node(node_id)
+        detected_at = self.sim.now
+        latency = (
+            detected_at - node.crashed_at if node.crashed_at is not None else 0.0
+        )
+        # Fencing: a node declared crashed IS crashed from here on, even if
+        # it was only partitioned — it must never talk to the new team.
+        self.inject_crash(node_id)
+        self.sim.tracer.emit(
+            "fault",
+            "declared_crashed",
+            f"node{node_id} reason={reason} latency={latency:.4f}s",
+        )
+        if not self.team.has_node(node_id):
+            return  # an idle pool node died; the computation is unaffected
+        if self._recovering:
+            return  # the pending recovery's rebuild will exclude this node
+        self._recovering = True
+        self.sim.process(
+            run_recovery(self, [node_id], detected_at, latency, reason),
+            name="recovery",
+        )
+
+    def _halt_computation(self) -> None:
+        """Kill the driver, the slave wait loops and every DSM engine."""
+        if self._driver_proc is not None and self._driver_proc.alive:
+            self._driver_proc.kill()
+        for handle in list(self._slave_procs.values()):
+            if handle.alive:
+                handle.kill()
+        self._slave_procs.clear()
+        for proc in self.procs.values():
+            proc.halt()
+
+    def _cancel_adaptations(self) -> None:
+        """Void all queued adapt events (their world no longer exists)."""
+        now = self.sim.now
+        for req in self.queue.joins:
+            if req.state in (RequestState.PENDING, RequestState.READY):
+                req.state = RequestState.CANCELLED
+                req.completed_at = now
+        for req in self.queue.leaves:
+            if req.state in (RequestState.PENDING, RequestState.URGENT):
+                req.state = RequestState.CANCELLED
+                req.completed_at = now
+                watchdog = getattr(req, "_watchdog", None)
+                if watchdog is not None and watchdog.alive:
+                    watchdog.interrupt("cancelled by crash recovery")
+
+    def _rebuild_after_crash(self, new_node_ids: List[int]) -> None:
+        """Fresh team, fresh DSM engines — shared address space retained."""
+        from ..dsm.barrier import BarrierManager
+        from ..dsm.locks import LockManager
+        from ..dsm.vectorclock import VectorClock
+
+        self.team.set_mapping(dict(enumerate(new_node_ids)))
+        self.nodes = [self._find_node(nid) for nid in new_node_ids]
+        self.procs = {}
+        for pid, node in enumerate(self.nodes):
+            proc = self.PROCESS_CLS(
+                self.sim,
+                self.cfg,
+                node,
+                pid,
+                self.team,
+                self.space,
+                materialized=self.materialized,
+            )
+            self._wire_process(proc)
+            proc.start_server()
+            self.procs[pid] = proc
+        self.master = self.procs[self.team.MASTER_PID]
+        self.master.barrier_mgr = BarrierManager(self.master)
+        self.master.lock_mgr = LockManager(self.master)
+        self.master_ctx = RegionCtx(self, self.master)
+        self.slave_vcs = {
+            pid: VectorClock.zeros(self.team.nprocs) for pid in self.team.slave_pids
+        }
+        self._frozen = None
+
+    def _finish_recovery(self) -> None:
+        self._recovering = False
+        self._crash_handled.clear()
+        if self.detector is not None:
+            self.detector.reset()
+
+    # ------------------------------------------------------------------
     # the adaptation point
     # ------------------------------------------------------------------
     def at_adaptation_point(self) -> Generator:
@@ -187,8 +337,19 @@ class AdaptiveRuntime(TmkRuntime):
         # 2. master migration (its node was reclaimed)
         master_leaves = [l for l in leaves if l.pid == self.team.MASTER_PID]
         slave_leaves = [l for l in leaves if l.pid != self.team.MASTER_PID]
+        deferred: List[LeaveRequest] = []
         for req in master_leaves:
-            yield from self._migrate_master(req)
+            migrated = yield from self._migrate_master(req)
+            if not migrated:
+                deferred.append(req)
+        if deferred:
+            # The leave stays queued; scrub it from this record so the
+            # history reflects what actually happened at this point.
+            leaves = [l for l in leaves if l not in deferred]
+            for req in deferred:
+                for lst in (record.leaves, record.urgent_leaves):
+                    if req.node_id in lst:
+                        lst.remove(req.node_id)
 
         # 3. drain leaving processes' exclusively-owned pages
         leaving_pids: List[int] = []
@@ -230,18 +391,39 @@ class AdaptiveRuntime(TmkRuntime):
         )
 
     def _migrate_master(self, req: LeaveRequest) -> Generator:
-        """§4.4: the master cannot normal-leave, but it can migrate."""
-        idle = [n for n in self.pool.idle_nodes() if not self.team.has_node(n.node_id)]
+        """§4.4: the master cannot normal-leave, but it can migrate.
+
+        Returns True when the master moved.  With no idle node to move to,
+        the leave is *deferred* — it stays queued and is retried at the
+        next adaptation point, when the pool may have refilled.  (The
+        owner's reclaim is delayed; the alternative is aborting the run.)
+        """
+        pending_join_nodes = {
+            j.node_id
+            for j in self.queue.joins
+            if j.state in (RequestState.PENDING, RequestState.READY)
+        }
+        idle = [
+            n
+            for n in self.pool.idle_nodes()
+            if not self.team.has_node(n.node_id)
+            and not n.crashed
+            and n.node_id not in pending_join_nodes
+        ]
         if not idle:
-            raise AdaptationError(
-                "master node reclaimed but no idle node to migrate the master to"
+            self.sim.tracer.emit(
+                "adapt",
+                "master_leave_deferred",
+                f"node{req.node_id}: no idle migration target",
             )
+            return False
         target = min(idle, key=lambda n: n.node_id)
         old_node = self.pool.node(req.node_id)
         outcome = yield from migrate_process(self, self.master, target)
         self.record_migration(outcome)
         old_node.withdraw()
         req.was_urgent = True  # migration-based by definition
+        return True
 
     def _rebuild_team(
         self,
@@ -292,7 +474,7 @@ class AdaptiveRuntime(TmkRuntime):
                 self.space,
                 materialized=self.materialized,
             )
-            proc.stall_hook = self.stall_check
+            self._wire_process(proc)
             proc.start_server()
             new_procs[new_pid] = proc
         self.procs = new_procs
@@ -314,4 +496,9 @@ class AdaptiveRuntime(TmkRuntime):
         res = super().result()
         res.adaptations = self.adaptations
         res.adapt_log = list(self.queue.history)
+        res.recoveries = list(self.recoveries)
+        if self.detector is not None:
+            res.heartbeats_sent = self.detector.heartbeats_sent
+            res.heartbeat_misses = self.detector.heartbeat_misses
+            res.false_suspicions = self.detector.false_suspicions
         return res

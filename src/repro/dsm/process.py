@@ -22,7 +22,7 @@ from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..config import SystemConfig
-from ..errors import DsmError, ProtocolError
+from ..errors import DsmError, NetworkError, ProtocolError
 from ..network import message as mk
 from ..network.message import Message
 from ..simcore import Channel, Simulator, Store
@@ -98,6 +98,13 @@ class DsmProcess:
         #: request we are still working on are suppressed).
         self._inflight_reqs: set = set()
         self._server_proc = None
+        #: Live request-handler coroutines (killed on crash/halt).
+        self._handlers: List = []
+        #: Set by the runtime when failure detection is on: called as
+        #: ``crash_hook(dst_node_id, err)`` when a request to a peer times
+        #: out or the peer's NIC is dark — escalates the NetworkError into a
+        #: suspected-crash report instead of failing the simulation.
+        self.crash_hook = None
         node.add_process()
 
     # ------------------------------------------------------------------
@@ -139,7 +146,16 @@ class DsmProcess:
             src_pid=self.pid,
             dst_pid=dst_pid,
         )
-        self.node.nic.send(msg)
+        try:
+            self.node.nic.send(msg)
+        except NetworkError as err:
+            # Fail-stop world: a dark peer means the message is simply
+            # lost.  With a crash hook installed the failure is escalated
+            # to the runtime (suspected crash); without one it propagates,
+            # as the base system has no notion of node failure.
+            if self.crash_hook is None:
+                raise
+            self.crash_hook(msg.dst, err)
         return msg
 
     def request(self, kind: str, dst_pid: int, payload: Any, size: int):
@@ -155,6 +171,32 @@ class DsmProcess:
             dst_pid=dst_pid,
         )
         return self.node.nic.request(msg)
+
+    def request_reply(
+        self, kind: str, dst_pid: int, payload: Any, size: int
+    ) -> Generator:
+        """Request/reply with crash escalation (``reply = yield from ...``).
+
+        A :class:`~repro.errors.NetworkError` (retransmissions exhausted, or
+        the peer's NIC already dark) is reported through ``crash_hook`` and
+        the calling coroutine parks forever — recovery tears it down and
+        restarts the computation from the last checkpoint.  Without a hook
+        the error propagates unchanged (base-system behaviour).
+        """
+        dst_node = self.team.node_of(dst_pid)
+        try:
+            reply = yield self.request(kind, dst_pid, payload, size)
+        except NetworkError as err:
+            if self.crash_hook is None:
+                raise
+            self.crash_hook(dst_node, err)
+            # Park until recovery kills this coroutine: there is no answer
+            # coming, and the caller cannot make progress without one.
+            from ..simcore import Signal
+
+            yield Signal(self.sim, name=f"{self.name}.parked")
+            raise ProtocolError(f"{self.name}: parked coroutine resumed")
+        return reply
 
     # ------------------------------------------------------------------
     # server: request handling (the SIGIO side of TreadMarks)
@@ -190,11 +232,13 @@ class DsmProcess:
                     if msg.req_id in self._inflight_reqs:
                         continue  # duplicate of a request already in service
                     self._inflight_reqs.add(msg.req_id)
-                self.sim.process(
+                handler = self.sim.process(
                     self._dispatch(msg),
                     name=f"{self.name}.h.{msg.kind}",
                     daemon=True,
                 )
+                self._handlers = [h for h in self._handlers if h.alive]
+                self._handlers.append(handler)
 
     def _dispatch(self, msg: Message) -> Generator:
         try:
@@ -216,6 +260,15 @@ class DsmProcess:
             # A joining process dialing in (§4.1): acknowledge.
             yield from self.node.service(50.0e-6)
             self.node.nic.send(msg.reply(mk.CONNECT_ACK, size_bytes=4))
+        elif msg.kind == mk.HEARTBEAT:
+            # Failure-detector probe from the master: ack goes through the
+            # handler CPU, so a node buried in protocol work acks late —
+            # that is what the detector's timeout margin is tuned against.
+            yield from self.node.service(10.0e-6)
+            try:
+                self.node.nic.send(msg.reply(mk.HEARTBEAT_ACK, size_bytes=4))
+            except NetworkError:
+                pass  # the prober's NIC went dark; nothing to tell it
         elif msg.kind == mk.PAGE_MAP:
             # The page-location map shipped to a joiner at absorption.
             self.owners = dict(msg.payload["owners"])
@@ -452,7 +505,7 @@ class DsmProcess:
             # First touch at the home/owner: the zero-filled copy is valid.
             pte.valid = True
             return
-        reply = yield self.request(
+        reply = yield from self.request_reply(
             mk.PAGE_REQ, from_pid, {"page": pte.page}, size=8
         )
         yield self.sim.timeout(self.cfg.network.page_service_client)
@@ -487,7 +540,7 @@ class DsmProcess:
                 raise ProtocolError(f"{self.name}: pending notice from self")
             from_seq = pte.applied.entries[writer]
             to_seq = by_writer[writer]
-            reply = yield self.request(
+            reply = yield from self.request_reply(
                 mk.DIFF_REQ,
                 writer,
                 {"page": pte.page, "from_seq": from_seq, "to_seq": to_seq},
@@ -509,7 +562,9 @@ class DsmProcess:
 
     def _fetch_page_refresh(self, pte: PageTableEntry, from_pid: int) -> Generator:
         """Re-fetch a full page (single-writer protocol update path)."""
-        reply = yield self.request(mk.PAGE_REQ, from_pid, {"page": pte.page}, size=8)
+        reply = yield from self.request_reply(
+            mk.PAGE_REQ, from_pid, {"page": pte.page}, size=8
+        )
         yield self.sim.timeout(self.cfg.network.page_service_client)
         if self.materialized:
             self.store.page_view(pte.page)[:] = reply.payload["data"]
@@ -846,6 +901,32 @@ class DsmProcess:
         if self._server_proc is not None and self._server_proc.alive:
             self._server_proc.interrupt("process left")
         self.node.remove_process()
+
+    def fail_stop(self) -> None:
+        """Die with the node: server and in-flight handlers stop cold.
+
+        The node's own crash already zeroed its resident-process count, so
+        no node bookkeeping happens here.
+        """
+        for handler in self._handlers:
+            handler.kill()
+        self._handlers.clear()
+        if self._server_proc is not None:
+            self._server_proc.kill()
+
+    def halt(self) -> None:
+        """Stop serving (recovery teardown of a *surviving* process).
+
+        Unlike :meth:`fail_stop` the node is healthy: the resident-process
+        slot is handed back so recovery can place a fresh engine on it.
+        """
+        for handler in self._handlers:
+            handler.kill()
+        self._handlers.clear()
+        if self._server_proc is not None:
+            self._server_proc.kill()
+        if not getattr(self.node, "crashed", False):
+            self.node.remove_process()
 
     def move_to_node(self, new_node) -> None:
         """Transplant this process onto ``new_node`` (after image copy)."""

@@ -137,6 +137,18 @@ class RunResult:
     adaptations: int = 0
     #: (time, kind, detail) adaptation event log (adaptive runs only).
     adapt_log: List[Tuple[float, str, str]] = field(default_factory=list)
+    #: Data-plane messages dropped by the seeded loss model.
+    dropped: int = 0
+    #: Request re-sends performed by retransmit timers across all NICs.
+    retransmissions: int = 0
+    #: Failure-detector probes sent by the master (adaptive runs only).
+    heartbeats_sent: int = 0
+    #: Probes that missed their ack deadline.
+    heartbeat_misses: int = 0
+    #: Nodes suspected (>=1 miss) that later acked before being declared.
+    false_suspicions: int = 0
+    #: One :class:`~repro.core.recovery.RecoveryRecord` per crash recovery.
+    recoveries: List[Any] = field(default_factory=list)
 
     @property
     def total(self) -> DsmStats:
@@ -191,6 +203,10 @@ class TmkRuntime:
         self.finished = False
         self.finish_time: Optional[float] = None
         self._switch = nodes[0].switch
+        #: Live coroutine handles, so crash injection / recovery can kill
+        #: the computation where it stands.
+        self._driver_proc = None
+        self._slave_procs: Dict[DsmProcess, Any] = {}
 
     @property
     def switch(self):
@@ -233,20 +249,30 @@ class TmkRuntime:
         self.program = program
         for pid in self.team.slave_pids:
             self._start_slave(self.procs[pid])
-        self.sim.process(self._master_main(program), name="master.driver")
+        self._driver_proc = self.sim.process(
+            self._master_main(program), name="master.driver"
+        )
         self.sim.run(until=until)
         return self.result()
 
     def result(self) -> RunResult:
+        traffic = self._switch.stats.snapshot()
         return RunResult(
             runtime_seconds=self.finish_time if self.finish_time is not None else self.sim.now,
-            traffic=self._switch.stats.snapshot(),
+            traffic=traffic,
             per_process={pid: p.stats.copy() for pid, p in self.procs.items()},
             forks=self.fork_seq,
+            dropped=self._switch.loss.dropped if self._switch.loss else 0,
+            retransmissions=traffic.retransmissions,
         )
 
     def _start_slave(self, proc: DsmProcess) -> None:
-        self.sim.process(self._slave_main(proc), name=f"{proc.name}.main")
+        self._slave_procs = {
+            p: h for p, h in self._slave_procs.items() if h.alive
+        }
+        self._slave_procs[proc] = self.sim.process(
+            self._slave_main(proc), name=f"{proc.name}.main"
+        )
 
     def _master_main(self, program: TmkProgram) -> Generator:
         api = MasterApi(self)

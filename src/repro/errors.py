@@ -73,6 +73,14 @@ class CheckpointError(ReproError):
     """Checkpoint creation or recovery failed."""
 
 
+class FaultError(ReproError):
+    """A fault-injection plan or action is invalid."""
+
+
+class RecoveryError(CheckpointError):
+    """Crash recovery could not be carried out (e.g. no nodes left)."""
+
+
 class NodeUnavailableError(ReproError):
     """An operation targeted a node that has withdrawn from the pool."""
 

@@ -1,0 +1,31 @@
+"""Fault injection and failure detection.
+
+Declarative, seeded failure scenarios for the adaptive DSM system:
+:class:`FaultPlan` scripts node crashes and link faults, a
+:class:`FaultInjector` replays a plan onto a running system, a
+:class:`LinkFaults` object holds the switch-level injection state, and
+:class:`FailureDetector` is the master-driven heartbeat prober feeding the
+crash-recovery orchestrator in :mod:`repro.core.recovery`.
+"""
+
+from .detector import FailureDetector
+from .links import LinkFaults
+from .plan import (
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    dump_plan,
+    parse_plan,
+    parse_plan_file,
+)
+
+__all__ = [
+    "FailureDetector",
+    "LinkFaults",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "dump_plan",
+    "parse_plan",
+    "parse_plan_file",
+]

@@ -1,0 +1,122 @@
+"""Switch-level link fault injection.
+
+The star topology gives every node a private full-duplex port, so link
+faults are modelled at the switch: a *cut* silently discards everything
+between a node pair (a network partition seen from those two endpoints), a
+*degraded* port adds fixed latency to every message touching it, and
+seeded per-message *duplicate* / *delay* injection exercises the UDP
+reliability layer (retransmit timers, duplicate-reply suppression).
+
+Like the loss model, the stochastic injections apply to the idempotent
+data plane only by default (``kinds``); cuts and degradation hit every
+message — a partition does not care about message kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+import numpy as np
+
+from ..errors import FaultError
+from ..network.message import Message
+from ..network.reliability import DATA_PLANE
+
+
+class LinkFaults:
+    """Mutable fault state consulted by :meth:`Switch.transmit`."""
+
+    def __init__(self, seed: int = 0xFA17, kinds: FrozenSet[str] = DATA_PLANE):
+        #: Partitioned node pairs (frozenset of the two endpoints).
+        self._cut: Set[FrozenSet[int]] = set()
+        #: node id -> extra one-way latency in seconds.
+        self._degraded: Dict[int, float] = {}
+        self.dup_rate = 0.0
+        self.delay_rate = 0.0
+        self.delay_seconds = 0.0
+        self.kinds = kinds
+        self._rng = np.random.default_rng(seed)
+        self._ever_unreliable = False
+
+    # -- gating --------------------------------------------------------
+    @property
+    def unreliable(self) -> bool:
+        """True once message loss/duplication is possible on this wire.
+
+        Latched, never cleared: requests issued while this is True go
+        through the retransmitting :class:`ReliableRequest` path and their
+        replies are deduplicated.  Clearing it mid-run would strand
+        in-flight requests on the wrong filtering regime, so a wire that
+        was ever unreliable stays gated for the rest of the run.
+        """
+        return self._ever_unreliable
+
+    def mark_unreliable(self) -> None:
+        """Latch the unreliable-wire gate (see :attr:`unreliable`)."""
+        self._ever_unreliable = True
+
+    # -- operator actions ----------------------------------------------
+    def cut(self, a: int, b: int) -> None:
+        """Partition nodes ``a`` and ``b``: all traffic between them dies."""
+        if a == b:
+            raise FaultError(f"cannot cut node {a} from itself")
+        self._cut.add(frozenset((a, b)))
+        self.mark_unreliable()
+
+    def heal(self, a: int, b: int) -> None:
+        """Undo a cut (messages already discarded stay lost)."""
+        self._cut.discard(frozenset((a, b)))
+
+    def degrade(self, node_id: int, extra_latency: float) -> None:
+        """Add ``extra_latency`` seconds to every message via ``node_id``."""
+        if extra_latency < 0:
+            raise FaultError(f"negative degradation: {extra_latency}")
+        self._degraded[node_id] = extra_latency
+
+    def restore(self, node_id: int) -> None:
+        """Remove the degradation of ``node_id``'s port."""
+        self._degraded.pop(node_id, None)
+
+    def set_duplicate(self, rate: float) -> None:
+        """Duplicate this fraction of data-plane messages."""
+        if not 0.0 <= rate < 1.0:
+            raise FaultError(f"duplicate rate must be in [0, 1): {rate}")
+        self.dup_rate = rate
+        if rate > 0:
+            self.mark_unreliable()
+
+    def set_delay(self, rate: float, seconds: float) -> None:
+        """Delay this fraction of data-plane messages by ``seconds``."""
+        if not 0.0 <= rate < 1.0:
+            raise FaultError(f"delay rate must be in [0, 1): {rate}")
+        if seconds < 0:
+            raise FaultError(f"negative delay: {seconds}")
+        self.delay_rate = rate
+        self.delay_seconds = seconds
+        if rate > 0:
+            self.mark_unreliable()
+
+    # -- queries from Switch.transmit ------------------------------------
+    def blocked(self, src: int, dst: int) -> bool:
+        """Is the src<->dst path currently cut?"""
+        return bool(self._cut) and frozenset((src, dst)) in self._cut
+
+    def extra_latency(self, src: int, dst: int) -> float:
+        """Added one-way latency from degraded endpoints."""
+        if not self._degraded:
+            return 0.0
+        return self._degraded.get(src, 0.0) + self._degraded.get(dst, 0.0)
+
+    def delay_for(self, msg: Message) -> float:
+        """Seconds of injected delay for this message (0 = on time)."""
+        if self.delay_rate <= 0.0 or msg.kind not in self.kinds:
+            return 0.0
+        if float(self._rng.random()) < self.delay_rate:
+            return self.delay_seconds
+        return 0.0
+
+    def duplicate(self, msg: Message) -> bool:
+        """Should a second copy of this message be delivered?"""
+        if self.dup_rate <= 0.0 or msg.kind not in self.kinds:
+            return False
+        return float(self._rng.random()) < self.dup_rate

@@ -49,6 +49,9 @@ PROC_EXIT = "proc_exit"
 MIGRATE_IMAGE = "migrate_image"
 CKPT_PAGE_REQ = "ckpt_page_req"
 CKPT_PAGE_REPLY = "ckpt_page_reply"
+# Failure detection
+HEARTBEAT = "heartbeat"
+HEARTBEAT_ACK = "heartbeat_ack"
 
 
 @dataclass

@@ -32,6 +32,8 @@ class Nic:
         self.attached = True
         #: Outstanding reliable request ids (duplicate replies are dropped).
         self._pending_reqs: set = set()
+        #: Request re-sends performed by this NIC's retransmit timers.
+        self.retransmissions = 0
 
     # -- sending ----------------------------------------------------------
     def send(self, msg: Message) -> float:
@@ -54,7 +56,7 @@ class Nic:
         if msg.req_id is None:
             msg.req_id = next_req_id()
         rid = msg.req_id
-        if self.switch.loss is not None and self.switch.loss.rate > 0:
+        if self._unreliable_wire():
             from .reliability import ReliableRequest
 
             self._pending_reqs.add(rid)
@@ -62,6 +64,22 @@ class Nic:
             return ReliableRequest(self, msg)
         self.send(msg)
         return self.replies.recv(match=lambda m, rid=rid: m.req_id == rid)
+
+    def _unreliable_wire(self) -> bool:
+        """True when messages may be lost or duplicated in transit.
+
+        Requests then go through :class:`ReliableRequest` and the
+        outstanding-request table filters duplicate replies.
+        """
+        if self.switch.loss is not None and self.switch.loss.rate > 0:
+            return True
+        faults = getattr(self.switch, "faults", None)
+        return faults is not None and faults.unreliable
+
+    def count_retransmission(self) -> None:
+        """Account one request re-send (local and switch-wide counters)."""
+        self.retransmissions += 1
+        self.switch.stats.count_retransmission()
 
     def wait_reply(self, req_id: int) -> Waitable:
         """Waitable for the reply to an already-sent request."""
@@ -75,12 +93,11 @@ class Nic:
         """Route an arriving message to the proper queue."""
         if msg.is_reply:
             if (
-                self.switch.loss is not None
-                and self.switch.loss.rate > 0
+                self._unreliable_wire()
                 and msg.req_id is not None
                 and msg.req_id not in self._pending_reqs
             ):
-                return  # duplicate reply to a retransmitted request
+                return  # duplicate reply to a retransmitted/injected request
             self.replies.put(msg)
         else:
             self.inbox.put(msg)

@@ -125,9 +125,14 @@ class ReliableRequest(Waitable):
             return
         self._retries += 1
         if self._retries > self._max_retries:
-            # the peer is unreachable: surface it rather than spin forever
+            # The peer is unreachable: surface it rather than spin forever.
+            # Completing the request here is essential — otherwise the
+            # req_id entry leaks in the NIC's outstanding-request table and
+            # a late duplicate reply would be misdelivered to a waiter that
+            # has long since errored out.
             if self._inner is not None:
                 self._inner.unsubscribe(self._on_reply)
+            self._nic._complete_request(self._msg.req_id)
             cb, self._callback = self._callback, None
             cb(None, NetworkError(
                 f"request {self._msg.kind}#{self._msg.req_id} to node "
@@ -135,6 +140,7 @@ class ReliableRequest(Waitable):
             ))
             return
         self.retransmissions += 1
+        self._nic.count_retransmission()
         try:
             self._nic.send(self._msg)
         except NetworkError:

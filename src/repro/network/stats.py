@@ -25,6 +25,16 @@ class TrafficSnapshot:
     bytes: int = 0
     pages: int = 0
     diffs: int = 0
+    #: Messages the seeded loss model dropped on the wire.
+    dropped: int = 0
+    #: Messages discarded at a cut (partitioned) switch path.
+    cut: int = 0
+    #: Extra copies delivered by duplicate injection.
+    duplicated: int = 0
+    #: Messages delivered late by delay injection.
+    delayed: int = 0
+    #: Request re-sends performed by :class:`ReliableRequest` timers.
+    retransmissions: int = 0
     per_link_bytes: Counter = field(default_factory=Counter)
     by_kind_messages: Counter = field(default_factory=Counter)
     by_kind_bytes: Counter = field(default_factory=Counter)
@@ -36,6 +46,11 @@ class TrafficSnapshot:
             bytes=self.bytes - earlier.bytes,
             pages=self.pages - earlier.pages,
             diffs=self.diffs - earlier.diffs,
+            dropped=self.dropped - earlier.dropped,
+            cut=self.cut - earlier.cut,
+            duplicated=self.duplicated - earlier.duplicated,
+            delayed=self.delayed - earlier.delayed,
+            retransmissions=self.retransmissions - earlier.retransmissions,
             per_link_bytes=Counter(
                 {
                     k: v - earlier.per_link_bytes.get(k, 0)
@@ -97,6 +112,26 @@ class TrafficStats:
         elif msg.kind == DIFF_REPLY:
             s.diffs += int(msg.payload.get("n_diffs", 1)) if isinstance(msg.payload, dict) else 1
 
+    def count_drop(self) -> None:
+        """Account one loss-model drop."""
+        self._snap.dropped += 1
+
+    def count_cut(self) -> None:
+        """Account one message discarded at a partitioned path."""
+        self._snap.cut += 1
+
+    def count_duplicate(self) -> None:
+        """Account one injected duplicate delivery."""
+        self._snap.duplicated += 1
+
+    def count_delay(self) -> None:
+        """Account one injected delayed delivery."""
+        self._snap.delayed += 1
+
+    def count_retransmission(self) -> None:
+        """Account one request re-send by a retransmit timer."""
+        self._snap.retransmissions += 1
+
     def snapshot(self) -> TrafficSnapshot:
         """A copy of the current counters."""
         s = self._snap
@@ -105,6 +140,11 @@ class TrafficStats:
             bytes=s.bytes,
             pages=s.pages,
             diffs=s.diffs,
+            dropped=s.dropped,
+            cut=s.cut,
+            duplicated=s.duplicated,
+            delayed=s.delayed,
+            retransmissions=s.retransmissions,
             per_link_bytes=Counter(s.per_link_bytes),
             by_kind_messages=Counter(s.by_kind_messages),
             by_kind_bytes=Counter(s.by_kind_bytes),

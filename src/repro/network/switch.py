@@ -45,6 +45,9 @@ class Switch:
             self.loss = LossModel(
                 rate=self.params.loss_rate, seed=self.params.loss_seed
             )
+        #: Optional fault-injection state (:class:`~repro.faults.LinkFaults`);
+        #: installed by a :class:`~repro.faults.FaultInjector`.
+        self.faults = None
 
     # -- topology -----------------------------------------------------------
     def attach(self, node_id: int) -> Nic:
@@ -92,12 +95,40 @@ class Switch:
         # adds wire time here, while occupancy and traffic accounting above
         # include the header bytes.
         arrival = start + self.params.one_way_latency + msg.size_bytes * self.params.per_byte
+        if self.faults is not None:
+            # Degraded ports add fixed latency on either endpoint's path.
+            arrival += self.faults.extra_latency(msg.src, msg.dst)
         msg.arrived_at = arrival
         self.stats.record(msg, uplink=up.name, downlink=down.name)
+        if self.faults is not None and self.faults.blocked(msg.src, msg.dst):
+            # the packet burned wire time but dies at the partition
+            self.stats.count_cut()
+            self.sim.tracer.emit("net", "cut", f"{msg.kind} {msg.src}->{msg.dst}")
+            return arrival
         if self.loss is not None and self.loss.should_drop(msg):
             # the packet burned wire time but never arrives
+            self.stats.count_drop()
             self.sim.tracer.emit("net", "dropped", f"{msg.kind} {msg.src}->{msg.dst}")
             return arrival
+        if self.faults is not None:
+            delay = self.faults.delay_for(msg)
+            if delay > 0.0:
+                self.stats.count_delay()
+                self.sim.tracer.emit(
+                    "net", "delayed", f"{msg.kind} {msg.src}->{msg.dst} +{delay:.6f}s"
+                )
+                arrival += delay
+                msg.arrived_at = arrival
+            if self.faults.duplicate(msg):
+                # a second copy trails the original by one latency
+                self.stats.count_duplicate()
+                self.sim.tracer.emit(
+                    "net", "duplicated", f"{msg.kind} {msg.src}->{msg.dst}"
+                )
+                self.sim.at(
+                    arrival + self.params.one_way_latency,
+                    lambda: dst_nic.deliver(msg),
+                )
         self.sim.at(arrival, lambda: dst_nic.deliver(msg))
         self.sim.tracer.emit("net", msg.kind, f"{msg.src}->{msg.dst} {wire_bytes}B")
         return arrival

@@ -165,6 +165,28 @@ class SimProcess(Waitable):
         self._sim._unregister(self)
         self._done.fire(result)
 
+    def kill(self) -> None:
+        """Fail-stop termination: the process stops where it stands.
+
+        Unlike :meth:`interrupt`, nothing is thrown *into* the generator at
+        a resumption point it can react to — the generator is closed on the
+        spot (``finally`` blocks still run, so held resources are released)
+        and any pending wait is cancelled.  This models a node losing power
+        mid-computation.  Killing a dead process is a no-op.
+        """
+        if not self.alive:
+            return
+        if self._current_wait is not None:
+            self._current_wait.unsubscribe(self._resume_cb)
+            self._current_wait = None
+        try:
+            self._gen.close()
+        except BaseException as err:  # noqa: BLE001 - a finally block misbehaved
+            self._finish(error=err)
+            self._sim._report_failure(self, err)
+            return
+        self._finish(result=None)
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`InterruptedError_` into the process.
 

@@ -34,7 +34,14 @@ class TestParsing:
 
     def test_bad_action(self):
         with pytest.raises(ConfigurationError):
-            parse_trace("0.1 crash 2\n")
+            parse_trace("0.1 explode 2\n")
+
+    def test_crash_action_parses(self):
+        assert parse_trace("0.1 crash 2\n") == [TraceEvent(0.1, "crash", 2, None)]
+
+    def test_crash_with_grace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_trace("0.1 crash 2 0.5\n")
 
     def test_bad_field_count(self):
         with pytest.raises(ConfigurationError):
@@ -84,6 +91,15 @@ class TestReplay:
         assert res.adaptations == 2
         kinds = [("leave" if r.leaves else "join") for r in res.adapt_log]
         assert kinds == ["leave", "join"]
+
+    def test_replay_crash_action_fails_node(self):
+        sim, rt, pool = build_adaptive(nprocs=3, extra_nodes=1,
+                                       failure_detection=True)
+        prog = iterative_program(rt, n_iter=40, compute=0.02)
+        TraceReplay(rt, parse_trace("0.3 crash 1\n")).install()
+        res = rt.run(prog)
+        assert pool.node(1).crashed
+        assert len(res.recoveries) == 1
 
 
 class TestSynthesis:

@@ -212,14 +212,36 @@ class TestMasterLeave:
         assert sorted(p for p, n in checks) == [0, 1, 2]
         assert len(rt.migrations) == 1
 
-    def test_master_leave_without_spare_node_fails(self):
-        from repro.errors import SimulationError
+    def test_master_leave_without_spare_node_defers(self):
+        """No idle target: the leave stays queued instead of aborting."""
+        from repro.core.adaptation import RequestState
 
         sim, rt, pool = build_adaptive(nprocs=2, extra_nodes=0)
-        prog = iterative_program(rt, n_iter=30)
+        checks = []
+        prog = iterative_program(rt, n_iter=30, checks=checks)
         sim.schedule(0.05, lambda: rt.submit_leave(0))
-        with pytest.raises(SimulationError):
-            rt.run(prog)
+        res = rt.run(prog)
+        # the run completed, the master never moved, the leave is still open
+        assert rt.team.node_of(0) == 0
+        assert rt.migrations == []
+        req = rt.queue.find_leave(0)
+        assert req is not None and req.state is RequestState.PENDING
+        assert sorted(p for p, n in checks) == [0, 1]
+        # no adaptation was recorded for the deferred leave
+        assert all(0 not in r.leaves + r.urgent_leaves for r in res.adapt_log)
+
+    def test_master_leave_deferred_then_completed(self):
+        """The deferred leave executes once a spare node appears."""
+        sim, rt, pool = build_adaptive(nprocs=2, extra_nodes=0)
+        checks = []
+        prog = iterative_program(rt, n_iter=30, checks=checks)
+        sim.schedule(0.05, lambda: rt.submit_leave(0))
+        # a fresh workstation turns up mid-run
+        sim.schedule(0.15, pool.add_node)
+        rt.run(prog)
+        assert rt.team.node_of(0) == 2  # master migrated to the new spare
+        assert not pool.node(0).in_pool
+        assert len(rt.migrations) == 1
 
 
 class TestNoAdaptationOverhead:

@@ -133,6 +133,40 @@ class TestRecovery:
         with pytest.raises(CheckpointError):
             restore_checkpoint(rt2, ck)
 
+    def test_restore_missing_segment_rejected(self):
+        sim, rt, pool = build_adaptive(nprocs=2, checkpoint_interval=0.1)
+        prog, *_ = counter_program(rt, n_iter=5)
+        rt.run(prog)
+        ck = rt.ckpt_mgr.checkpoints[0]
+        del ck.segment_data["meta"]
+        sim2, rt2, pool2 = build_adaptive(nprocs=2)
+        counter_program(rt2, n_iter=5)
+        with pytest.raises(CheckpointError, match="lacks segment"):
+            restore_checkpoint(rt2, ck)
+
+    def test_restore_size_mismatch_rejected(self):
+        sim, rt, pool = build_adaptive(nprocs=2, checkpoint_interval=0.1)
+        prog, *_ = counter_program(rt, n_iter=5)
+        rt.run(prog)
+        ck = rt.ckpt_mgr.checkpoints[0]
+        ck.segment_data["grid"] = ck.segment_data["grid"][:-8]
+        sim2, rt2, pool2 = build_adaptive(nprocs=2)
+        counter_program(rt2, n_iter=5)
+        with pytest.raises(CheckpointError, match="size mismatch"):
+            restore_checkpoint(rt2, ck)
+
+    def test_live_restore_page_count_mismatch_rejected(self):
+        from repro.core.checkpoint import restore_checkpoint_live
+
+        sim, rt, pool = build_adaptive(nprocs=2, checkpoint_interval=0.1)
+        prog, *_ = counter_program(rt, n_iter=5)
+        rt.run(prog)
+        ck = rt.ckpt_mgr.checkpoints[0]
+        sim2, rt2, pool2 = build_adaptive(nprocs=2)
+        rt2.malloc("grid", shape=(32, 16), dtype="float64")  # meta missing
+        with pytest.raises(CheckpointError, match="pages"):
+            restore_checkpoint_live(rt2, ck)
+
     def test_master_owns_everything_after_restore(self):
         sim, rt, pool = build_adaptive(nprocs=2, checkpoint_interval=0.1)
         prog, *_ = counter_program(rt, n_iter=5)

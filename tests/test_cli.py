@@ -16,9 +16,12 @@ class TestParsing:
         import argparse
 
         with pytest.raises(argparse.ArgumentTypeError):
-            _parse_event("crash:1.0")
+            _parse_event("explode:1.0")
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_event("leave")
+
+    def test_event_parse_accepts_crash(self):
+        assert _parse_event("crash:1.0:2") == ("crash", 1.0, 2)
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
