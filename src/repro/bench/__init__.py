@@ -30,6 +30,12 @@ from .calibrate import (
     make_nbf,
 )
 from .harness import ExperimentResult, nonadaptive_times, run_experiment
+from .perf import (
+    PerfScenario,
+    calibrate_spin,
+    compare_to_baseline,
+    run_perfbench,
+)
 from .recovery import (
     RecoveryPoint,
     ResumableJacobi,
@@ -81,6 +87,10 @@ __all__ = [
     "make_jacobi",
     "make_nbf",
     "nonadaptive_times",
+    "PerfScenario",
+    "calibrate_spin",
+    "compare_to_baseline",
+    "run_perfbench",
     "per_adaptation_summary",
     "ratio_note",
     "run_experiment",

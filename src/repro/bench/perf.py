@@ -1,0 +1,275 @@
+"""Wall-clock performance benchmarks of the simulator engine itself.
+
+Everything else in :mod:`repro.bench` measures *simulated* quantities
+(Table 1 runtimes, traffic, adaptation cost), which are deterministic and
+machine-independent.  This module measures how fast the engine produces
+them: wall-clock seconds, executed events per second, and simulated
+seconds per wall second, for end-to-end scenarios plus microbenchmarks of
+the protocol hot paths.
+
+Raw wall-clock numbers are machine-dependent, so every report includes a
+*calibration*: the events/second of a bare simulator spinning no-op
+events on the same machine and interpreter.  ``normalized_score`` (scenario
+events/sec divided by spin events/sec) cancels machine speed to first
+order and is what the regression gate compares, letting a committed
+baseline from one machine guard CI runs on another.
+
+Used by ``python -m repro perfbench`` (see ``--baseline`` /
+``--max-regression`` for the CI gate) which writes ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+SCHEMA = "repro-perfbench/1"
+
+#: Events in the calibration spin loop.
+SPIN_EVENTS = 100_000
+
+
+# ---------------------------------------------------------------------------
+# calibration
+# ---------------------------------------------------------------------------
+def calibrate_spin(n_events: int = SPIN_EVENTS) -> float:
+    """Events/second of a bare simulator executing chained no-op events.
+
+    This is the ceiling of the event loop on this machine — heap pop,
+    time advance, callback dispatch, nothing else.
+    """
+    from ..simcore import Simulator
+
+    sim = Simulator()
+
+    remaining = n_events
+
+    def tick() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule(1.0e-9, tick)
+
+    sim.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return n_events / wall if wall > 0 else float("inf")
+
+
+# ---------------------------------------------------------------------------
+# microbenchmarks of the protocol hot paths
+# ---------------------------------------------------------------------------
+def _build_micro_runtime():
+    """A minimal 2-node traced runtime for direct engine-method timing."""
+    from ..cluster import NodePool
+    from ..config import SystemConfig
+    from ..dsm import TmkRuntime
+    from ..network import Switch
+    from ..simcore import Simulator
+
+    cfg = SystemConfig()
+    sim = Simulator()
+    pool = NodePool(sim, Switch(sim, cfg.network))
+    rt = TmkRuntime(sim, cfg, pool.add_nodes(2), materialized=False)
+    return rt
+
+
+def micro_notice_apply(n_notices: int = 50_000) -> float:
+    """Notices/second through ``apply_notices`` (the engine's hottest loop)."""
+    from ..dsm.intervals import WriteNotice
+    from ..dsm.page import Protocol
+    from ..dsm.vectorclock import VectorClock
+
+    rt = _build_micro_runtime()
+    proc = rt.procs[0]
+    seg = rt.space.alloc("micro", n_notices * 8, protocol=Protocol.MULTIPLE_WRITER, home=1)
+    pages = list(seg.pages)
+    notices = []
+    vc = VectorClock.zeros(2)
+    for seq in range(1, n_notices // len(pages) + 2):
+        vc = vc.copy()
+        vc.entries[1] = seq
+        for page in pages:
+            notices.append(WriteNotice(proc=1, seq=seq, page=page, vc=vc))
+            if len(notices) >= n_notices:
+                break
+        if len(notices) >= n_notices:
+            break
+    sender_vc = notices[-1].vc
+    t0 = time.perf_counter()
+    proc.apply_notices(notices, sender_vc)
+    wall = time.perf_counter() - t0
+    return len(notices) / wall if wall > 0 else float("inf")
+
+
+def micro_plan_lookup(n_lookups: int = 200_000) -> float:
+    """Plan-cache hits/second on a recurring Jacobi-like access pattern."""
+    from ..dsm.memory import AddressSpace
+    from ..dsm.page import Protocol
+
+    space = AddressSpace(page_size=4096)
+    seg = space.alloc("micro", 4096 * 64, protocol=Protocol.MULTIPLE_WRITER)
+    cache = space.plan_cache
+    reads = ((0, 4096 * 16),)
+    writes = ((4096 * 4 + 128, 4096 * 12 - 64),)
+    cache.lookup(seg, reads, writes, 4096)  # prime the memo
+    t0 = time.perf_counter()
+    for _ in range(n_lookups):
+        cache.lookup(seg, reads, writes, 4096)
+    wall = time.perf_counter() - t0
+    return n_lookups / wall if wall > 0 else float("inf")
+
+
+def run_micro() -> Dict[str, float]:
+    """All microbenchmarks (ops/second each)."""
+    return {
+        "event_spin_per_sec": calibrate_spin(),
+        "notice_apply_per_sec": micro_notice_apply(),
+        "plan_lookup_per_sec": micro_plan_lookup(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# end-to-end scenarios
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PerfScenario:
+    """One end-to-end engine benchmark: a workload on N simulated nodes."""
+
+    name: str
+    factory: Callable[[], object]
+    nprocs: int
+
+
+def scenarios(quick: bool = False, paper: bool = False) -> List[PerfScenario]:
+    """The scenario list for this run.
+
+    Default: the BENCH-preset Jacobi and Gauss on 8 nodes (the profiles
+    that drove the hot-path engine work).  ``quick`` shrinks them for CI
+    smoke runs; ``paper`` adds the full Table-1 Jacobi configuration
+    (minutes of wall time).
+    """
+    from ..apps.workloads import BENCH
+    from .calibrate import make_gauss, make_jacobi
+
+    if quick:
+        out = [
+            PerfScenario("jacobi-8-quick", lambda: make_jacobi(350, 20), 8),
+            PerfScenario("gauss-8-quick", lambda: make_gauss(256), 8),
+        ]
+    else:
+        out = [
+            PerfScenario("jacobi-8", BENCH["jacobi"].factory, 8),
+            PerfScenario("gauss-8", BENCH["gauss"].factory, 8),
+        ]
+    if paper:
+        from ..apps.workloads import PAPER
+
+        out.append(PerfScenario("jacobi-8-paper", PAPER["jacobi"].factory, 8))
+    return out
+
+
+def run_scenario(scenario: PerfScenario, repeat: int = 1) -> Dict[str, float]:
+    """Run one scenario ``repeat`` times; report the best wall time.
+
+    The simulated outputs (runtime, traffic) are identical across repeats
+    by construction — only the wall clock varies.
+    """
+    from .harness import run_experiment
+
+    best_wall = float("inf")
+    res = None
+    events = 0
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        res = run_experiment(scenario.factory, nprocs=scenario.nprocs)
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall = wall
+            events = res.runtime.sim.events_executed
+    traffic = res.traffic
+    return {
+        "wall_seconds": best_wall,
+        "sim_seconds": res.runtime_seconds,
+        "events": events,
+        "events_per_sec": events / best_wall if best_wall > 0 else float("inf"),
+        "sim_per_wall": res.runtime_seconds / best_wall if best_wall > 0 else float("inf"),
+        "messages": traffic.messages,
+        "pages": traffic.pages,
+        "diffs": traffic.diffs,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the full report + regression gate
+# ---------------------------------------------------------------------------
+def run_perfbench(
+    quick: bool = False, paper: bool = False, repeat: int = 1
+) -> Dict:
+    """Run calibration, microbenchmarks, and all scenarios; build the report."""
+    spin = calibrate_spin()
+    micro = {
+        "event_spin_per_sec": spin,
+        "notice_apply_per_sec": micro_notice_apply(),
+        "plan_lookup_per_sec": micro_plan_lookup(),
+    }
+    results: Dict[str, Dict[str, float]] = {}
+    for scenario in scenarios(quick=quick, paper=paper):
+        entry = run_scenario(scenario, repeat=repeat)
+        entry["normalized_score"] = (
+            entry["events_per_sec"] / spin if spin > 0 else 0.0
+        )
+        results[scenario.name] = entry
+    return {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "repeat": repeat,
+        "calibration": {"spin_events_per_sec": spin, "spin_events": SPIN_EVENTS},
+        "micro": micro,
+        "results": results,
+    }
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare_to_baseline(
+    report: Dict, baseline: Dict, max_regression: float = 0.30
+) -> List[Tuple[str, float, float, float]]:
+    """Regressions of ``report`` vs ``baseline``.
+
+    Compares ``normalized_score`` per scenario (machine-speed cancelled by
+    the calibration spin).  Returns ``(name, baseline_score, new_score,
+    regression_fraction)`` for every scenario whose score dropped by more
+    than ``max_regression``.  Scenarios present in only one report are
+    ignored (presets may evolve).
+    """
+    regressions = []
+    base_results = baseline.get("results", {})
+    for name, entry in report.get("results", {}).items():
+        base = base_results.get(name)
+        if base is None:
+            continue
+        old = base.get("normalized_score", 0.0)
+        new = entry.get("normalized_score", 0.0)
+        if old <= 0:
+            continue
+        drop = 1.0 - new / old
+        if drop > max_regression:
+            regressions.append((name, old, new, drop))
+    return regressions

@@ -257,6 +257,54 @@ def cmd_migration(args) -> int:
     return 0
 
 
+def cmd_perfbench(args) -> int:
+    from .bench.perf import (
+        compare_to_baseline,
+        load_report,
+        run_perfbench,
+        write_report,
+    )
+
+    report = run_perfbench(quick=args.quick, paper=args.paper, repeat=args.repeat)
+    rows = []
+    for name, e in sorted(report["results"].items()):
+        rows.append([
+            name,
+            f"{e['wall_seconds']:.3f}",
+            f"{e['sim_seconds']:.3f}",
+            f"{e['events_per_sec'] / 1e3:.1f}k",
+            f"{e['sim_per_wall']:.2f}",
+            f"{e['normalized_score']:.4f}",
+        ])
+    print(format_table(
+        ["scenario", "wall (s)", "sim (s)", "events/s", "sim/wall", "norm. score"],
+        rows,
+        title=f"Engine wall-clock benchmarks "
+              f"(spin {report['calibration']['spin_events_per_sec'] / 1e6:.2f}M events/s)",
+    ))
+    micro = report["micro"]
+    print(f"  micro: notice apply {micro['notice_apply_per_sec'] / 1e3:.0f}k/s, "
+          f"plan lookup {micro['plan_lookup_per_sec'] / 1e3:.0f}k/s")
+    write_report(report, args.out)
+    print(f"  report written to {args.out}")
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except OSError as err:
+            print(f"cannot read baseline {args.baseline!r}: {err}", file=sys.stderr)
+            return 2
+        regressions = compare_to_baseline(report, baseline, args.max_regression)
+        if regressions:
+            for name, old, new, drop in regressions:
+                print(f"  REGRESSION {name}: normalized score {old:.4f} -> {new:.4f} "
+                      f"({drop:.0%} drop > {args.max_regression:.0%} allowed)",
+                      file=sys.stderr)
+            return 1
+        print(f"  no regression vs {args.baseline} "
+              f"(threshold {args.max_regression:.0%})")
+    return 0
+
+
 def cmd_recovery(args) -> int:
     from .bench import recovery_sweep, sweep_rows
 
@@ -314,6 +362,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the heartbeat failure detector (implied by "
                           "crash events and --faults)")
     run.set_defaults(fn=cmd_run)
+
+    perf = sub.add_parser(
+        "perfbench", help="wall-clock engine benchmarks (events/s, sim-s per wall-s)"
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="small scenarios for CI smoke runs")
+    perf.add_argument("--paper", action="store_true",
+                      help="also run the full Table-1 Jacobi configuration")
+    perf.add_argument("--repeat", type=int, default=1,
+                      help="repetitions per scenario (best wall time wins)")
+    perf.add_argument("--out", default="BENCH_perf.json",
+                      help="where to write the JSON report")
+    perf.add_argument("--baseline", default=None,
+                      help="baseline BENCH_perf.json to gate against")
+    perf.add_argument("--max-regression", type=float, default=0.30,
+                      help="allowed normalized-score drop vs the baseline")
+    perf.set_defaults(fn=cmd_perfbench)
 
     rec = sub.add_parser(
         "recovery", help="crash-recovery cost vs. checkpoint interval (Jacobi)"

@@ -211,6 +211,41 @@ class FaultParams:
 
 
 @dataclass(frozen=True)
+class PerfParams:
+    """Wall-clock fast-path switches (host performance, not modelled time).
+
+    Everything here either leaves the simulation's modelled times, traces,
+    and traffic bitwise unchanged (``plan_cache``) or is an explicitly
+    opt-in protocol extension that *does* change the model (``bulk_fetch``)
+    and therefore defaults to off so the paper-reproduction numbers
+    (Table 1/2) stay exact.  See docs/PROTOCOL.md, "Performance model vs.
+    wall-clock performance".
+    """
+
+    #: Memoize the per-(segment, reads, writes) page/range computation of
+    #: ``DsmProcess.access``.  Pure memoization of a deterministic function
+    #: — results are bitwise identical with the cache on or off.
+    plan_cache: bool = True
+
+    #: Entries kept in the shared access-plan cache before it is dropped
+    #: wholesale (plans are tiny; the cap only bounds pathological key
+    #: diversity).
+    plan_cache_capacity: int = 8192
+
+    #: Coalesce the full-page fetches of one fault burst into a single
+    #: PAGE_BATCH_REQ/REPLY exchange per owner: same payload bytes on the
+    #: wire, one round trip (and one header) instead of one per page —
+    #: the bulk-transfer idea the paper applies to joins, applied to
+    #: ordinary fault bursts.  Changes modelled time and message counts,
+    #: hence off by default for paper fidelity.
+    bulk_fetch: bool = False
+
+    def validate(self) -> None:
+        if self.plan_cache_capacity < 1:
+            raise ConfigurationError("plan_cache_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Aggregate configuration for a simulated adaptive DSM system."""
 
@@ -219,6 +254,7 @@ class SystemConfig:
     migration: MigrationParams = field(default_factory=MigrationParams)
     checkpoint: CheckpointParams = field(default_factory=CheckpointParams)
     faults: FaultParams = field(default_factory=FaultParams)
+    perf: PerfParams = field(default_factory=PerfParams)
 
     #: Default grace period for leave events (seconds).  The paper calls
     #: 3 s "a reasonable grace period".
@@ -239,6 +275,7 @@ class SystemConfig:
         self.migration.validate()
         self.checkpoint.validate()
         self.faults.validate()
+        self.perf.validate()
         if self.grace_period < 0:
             raise ConfigurationError("grace_period must be >= 0")
 

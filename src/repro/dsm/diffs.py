@@ -42,6 +42,7 @@ def make_diff(
     declared_ranges: List[Range],
     twin: Optional[np.ndarray] = None,
     current: Optional[np.ndarray] = None,
+    declared_normalized: bool = False,
 ) -> Optional[Diff]:
     """Encode the diff of one page for one interval.
 
@@ -49,6 +50,10 @@ def make_diff(
     are compared; the result is clipped to actual changes (a write of the
     same value produces no run, matching real TreadMarks).  Traced mode:
     the declared ranges stand in for the comparison.
+
+    ``declared_normalized`` lets callers that already hold normalized
+    ranges (interval write sets are ``merge`` outputs) skip the
+    re-normalization on the traced-mode path.
 
     Returns ``None`` when nothing changed.
     """
@@ -58,7 +63,7 @@ def make_diff(
             return None
         data = [current[s:e].copy() for s, e in ranges]
         return Diff(proc=proc, seq=seq, page=page, vc=vc.copy(), ranges=ranges, data=data)
-    ranges = normalize(declared_ranges)
+    ranges = declared_ranges if declared_normalized else normalize(declared_ranges)
     if not ranges:
         return None
     # No twin (single-writer page later demoted to multiple-writer): the

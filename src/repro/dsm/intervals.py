@@ -24,7 +24,7 @@ from .ranges import Range, diff_wire_size, total_bytes
 from .vectorclock import VectorClock
 
 
-@dataclass
+@dataclass(slots=True)
 class Diff:
     """The encoded writes of one interval to one page.
 
@@ -61,7 +61,7 @@ class Diff:
         return (*self.vc.sort_key(), self.proc, self.seq)
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteNotice:
     """Advertisement that ``proc``'s interval ``seq`` wrote ``page``."""
 
@@ -75,7 +75,7 @@ class WriteNotice:
         return applied.covers_interval(self.proc, self.seq)
 
 
-@dataclass
+@dataclass(slots=True)
 class IntervalRecord:
     """One closed interval of one process (kept by the writer until GC)."""
 

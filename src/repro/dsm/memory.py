@@ -73,6 +73,11 @@ class AddressSpace:
         self._start_ids: List[int] = []
         self._next_page = 0
         self._next_seg = 0
+        # Access-plan memo shared by every process of this address space
+        # (imported lazily to avoid a cycle with plans -> memory).
+        from .plans import PlanCache
+
+        self.plan_cache = PlanCache()
 
     @property
     def total_pages(self) -> int:

@@ -14,6 +14,11 @@ single or multiple writer"):
 * ``SINGLE_WRITER`` — one writer per epoch; faults always fetch the full
   page from the current owner; no twins or diffs.  Used for Gauss/FFT/NBF,
   which is why Table 1 reports zero diffs for them.
+
+The entry also keeps a per-writer maximum pending sequence
+(:attr:`PageTableEntry.pending_by_writer`) updated incrementally as
+notices arrive, so a fault can plan its diff requests without re-scanning
+the pending list — this is on the engine's hottest path.
 """
 
 from __future__ import annotations
@@ -44,7 +49,7 @@ class AccessMode(enum.Enum):
     WRITE = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """State of one shared page at one process."""
 
@@ -61,6 +66,9 @@ class PageTableEntry:
     pending: List[WriteNotice] = field(default_factory=list)
     #: (proc, seq) keys of ``pending`` for O(1) duplicate detection.
     _pending_keys: set = field(default_factory=set, repr=False)
+    #: writer pid -> highest pending interval seq (incrementally maintained
+    #: so faults need not rescan ``pending``).
+    pending_by_writer: Dict[int, int] = field(default_factory=dict, repr=False)
     #: Twin (pristine pre-write copy) in materialized mode.
     twin: Optional[np.ndarray] = None
     #: GC epoch in which this process last accessed the page (§5.4 c5).
@@ -73,30 +81,52 @@ class PageTableEntry:
 
     def add_notice(self, notice: WriteNotice) -> None:
         """Record an invalidating write notice (idempotent)."""
-        if self.applied is not None and notice.covered_by(self.applied):
+        proc = notice.proc
+        seq = notice.seq
+        applied = self.applied
+        if applied is not None and applied.entries[proc] >= seq:
             return
-        key = (notice.proc, notice.seq)
-        if key in self._pending_keys:
+        key = (proc, seq)
+        keys = self._pending_keys
+        if key in keys:
             return
-        self._pending_keys.add(key)
+        keys.add(key)
         self.pending.append(notice)
+        by_writer = self.pending_by_writer
+        prev = by_writer.get(proc)
+        if prev is None or seq > prev:
+            by_writer[proc] = seq
         self.mode = AccessMode.NONE  # next access faults
+
+    def _reindex_pending(self) -> None:
+        self._pending_keys = {(n.proc, n.seq) for n in self.pending}
+        by_writer: Dict[int, int] = {}
+        for n in self.pending:
+            prev = by_writer.get(n.proc)
+            if prev is None or n.seq > prev:
+                by_writer[n.proc] = n.seq
+        self.pending_by_writer = by_writer
 
     def prune_pending(self) -> None:
         """Drop pending notices now covered by the applied clock."""
-        if self.applied is None:
+        applied = self.applied
+        if applied is None:
             return
-        self.pending = [n for n in self.pending if not n.covered_by(self.applied)]
-        self._pending_keys = {(n.proc, n.seq) for n in self.pending}
+        entries = applied.entries
+        self.pending = [n for n in self.pending if entries[n.proc] < n.seq]
+        self._reindex_pending()
 
     def clear_pending(self) -> None:
         """Drop all pending notices (after fetching them)."""
         self.pending.clear()
         self._pending_keys.clear()
+        self.pending_by_writer.clear()
 
 
 class PageTable:
     """All page table entries of one process."""
+
+    __slots__ = ("proc_name", "_entries")
 
     def __init__(self, proc_name: str):
         self.proc_name = proc_name
@@ -117,6 +147,10 @@ class PageTable:
             return self._entries[page]
         except KeyError:
             raise DsmError(f"{self.proc_name}: page {page} not mapped") from None
+
+    def get(self, page: int) -> Optional[PageTableEntry]:
+        """The entry for ``page`` or ``None`` (no-raise hot-path lookup)."""
+        return self._entries.get(page)
 
     def map_page(
         self, page: int, protocol: Protocol, owner: int, valid: bool, width: int

@@ -17,6 +17,8 @@ The main computation drives the engine through:
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
+from operator import itemgetter
 from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -30,10 +32,14 @@ from .diffs import make_diff
 from .intervals import Diff, IntervalLog, IntervalRecord, WriteNotice
 from .memory import AddressSpace, LocalStore, SharedSegment
 from .page import AccessMode, PageTable, PageTableEntry, Protocol
-from .ranges import Range, clip, merge
+from .plans import build_plan
+from .ranges import Range, merge
 from .statistics import DsmStats
 from .team import TeamView
 from .vectorclock import VectorClock
+
+#: Sort/bisect key of the per-writer notice buckets: (seq, page).
+_SEQ_PAGE = itemgetter(0, 1)
 
 #: Message kinds routed to the main coroutine rather than a handler.
 MAIN_KINDS = frozenset(
@@ -79,6 +85,13 @@ class DsmProcess:
         self.stats = DsmStats()
         #: Highest own interval seq already reported to the master.
         self._sent_to_master_seq = 0
+        # Hot-path caches (see PerfParams): plan memoization toggle, the
+        # opt-in bulk-fetch protocol extension, and wire-size constants.
+        self._plan_cache_enabled = cfg.perf.plan_cache
+        self._bulk_fetch = cfg.perf.bulk_fetch
+        space.plan_cache.capacity = cfg.perf.plan_cache_capacity
+        self._notice_bytes = cfg.dsm.write_notice_bytes
+        self._vc_bytes: Tuple[int, int] = (-1, 0)  # (vc width, cached bytes)
 
         #: Control messages for the main coroutine (fork, release, grants...).
         self.main_inbox = Channel(sim, name=f"{self.name}.main")
@@ -100,6 +113,10 @@ class DsmProcess:
         self._server_proc = None
         #: Live request-handler coroutines (killed on crash/halt).
         self._handlers: List = []
+        #: Handlers finished since the last reap; the server loop prunes
+        #: ``_handlers`` in place only when this is nonzero instead of
+        #: rebuilding the list on every dispatched message.
+        self._handlers_dead = 0
         #: Set by the runtime when failure detection is on: called as
         #: ``crash_hook(dst_node_id, err)`` when a request to a peer times
         #: out or the peer's NIC is dark — escalates the NetworkError into a
@@ -120,10 +137,18 @@ class DsmProcess:
 
     @property
     def vc_wire_bytes(self) -> int:
-        return self.vc.width * self.cfg.dsm.clock_entry_bytes
+        # Cached per clock width; adaptations change the team size (and
+        # with it the clock width), so the cache key is the width itself.
+        width = self.vc.width
+        cached = self._vc_bytes
+        if cached[0] == width:
+            return cached[1]
+        val = width * self.cfg.dsm.clock_entry_bytes
+        self._vc_bytes = (width, val)
+        return val
 
     def notice_wire_bytes(self, n_notices: int) -> int:
-        return n_notices * self.cfg.dsm.write_notice_bytes
+        return n_notices * self._notice_bytes
 
     def send(
         self,
@@ -237,19 +262,28 @@ class DsmProcess:
                     name=f"{self.name}.h.{msg.kind}",
                     daemon=True,
                 )
-                self._handlers = [h for h in self._handlers if h.alive]
+                # Reap finished handlers lazily: only when at least one has
+                # completed since the last prune (previously the list was
+                # rebuilt on every dispatched message — O(handlers) per
+                # message on the server hot path).
+                if self._handlers_dead:
+                    self._handlers = [h for h in self._handlers if h.alive]
+                    self._handlers_dead = 0
                 self._handlers.append(handler)
 
     def _dispatch(self, msg: Message) -> Generator:
         try:
             yield from self._handle_request(msg)
         finally:
+            self._handlers_dead += 1
             if msg.req_id is not None:
                 self._inflight_reqs.discard(msg.req_id)
 
     def _handle_request(self, msg: Message) -> Generator:
         if msg.kind == mk.PAGE_REQ:
             yield from self._serve_page(msg)
+        elif msg.kind == mk.PAGE_BATCH_REQ:
+            yield from self._serve_page_batch(msg)
         elif msg.kind == mk.DIFF_REQ:
             yield from self._serve_diff(msg)
         elif msg.kind == mk.LOCK_FORWARD:
@@ -302,6 +336,40 @@ class DsmProcess:
         }
         size = self.cfg.dsm.page_size + self.vc_wire_bytes
         self.node.nic.send(msg.reply(reply_kind, size_bytes=size, payload=payload))
+
+    def _serve_page_batch(self, msg: Message) -> Generator:
+        """Serve several full pages in one reply (``PerfParams.bulk_fetch``).
+
+        The reply carries exactly the payload bytes of the per-page replies
+        it replaces (n × (page + applied clock)); only the per-message
+        header and the extra round trips are saved.
+        """
+        pages = msg.payload["pages"]
+        applied = []
+        data = []
+        for page in pages:
+            pte = self._pte(page)
+            if not pte.valid:
+                raise ProtocolError(
+                    f"{self.name}: asked for page {page} but holds no valid copy"
+                )
+            applied.append(pte.applied.copy())
+            data.append(self.store.page_view(page).copy() if self.materialized else None)
+        n = len(pages)
+        yield from self.node.service(n * self.cfg.network.page_service_server)
+        size = n * (self.cfg.dsm.page_size + self.vc_wire_bytes)
+        self.node.nic.send(
+            msg.reply(
+                mk.PAGE_BATCH_REPLY,
+                size_bytes=size,
+                payload={
+                    "pages": list(pages),
+                    "applied": applied,
+                    "data": data,
+                    "n_pages": n,
+                },
+            )
+        )
 
     def _serve_diff(self, msg: Message) -> Generator:
         page = msg.payload["page"]
@@ -361,8 +429,9 @@ class DsmProcess:
 
     def _pte(self, page: int) -> PageTableEntry:
         """Get or lazily map the entry for ``page``."""
-        if page in self.table:
-            return self.table.entry(page)
+        pte = self.table.get(page)
+        if pte is not None:
+            return pte
         seg = self.space.segment_of_page(page)
         owner = self.owner_of(page)
         return self.table.map_page(
@@ -374,61 +443,143 @@ class DsmProcess:
         )
 
     def apply_notice(self, notice: WriteNotice) -> None:
-        """Record a remote write notice (invalidate the page)."""
-        key = (notice.proc, notice.seq, notice.page)
-        if key in self.seen:
+        """Record a remote write notice (invalidate the page).
+
+        This is the single hottest function of the engine (the master
+        re-broadcasts every slave's notices at each barrier), hence the
+        local bindings and inlined covered-by checks.
+        """
+        proc = notice.proc
+        seq = notice.seq
+        page = notice.page
+        seen = self.seen
+        key = (proc, seq, page)
+        if key in seen:
             return
-        self.seen[key] = notice
+        seen[key] = notice
         self._index_notice(notice)
-        if notice.proc == self.pid:
+        if proc == self.pid:
             return
-        pte = self._pte(notice.page)
-        if pte.protocol is Protocol.SINGLE_WRITER and not notice.covered_by(pte.applied):
-            # Another process wrote this page without having seen our own
-            # write: the single-writer optimization no longer applies, so
-            # demote the page to the multiple-writer (diff) protocol — as
-            # TreadMarks does when it detects write sharing.
-            own_seq = pte.applied.entries[self.pid]
+        pte = self.table.get(page)
+        if pte is None:
+            pte = self._pte(page)
+        if pte.protocol is Protocol.SINGLE_WRITER:
+            # Another process wrote a single-writer page: possibly demote
+            # to the multiple-writer (diff) protocol — as TreadMarks does
+            # when it detects write sharing.
+            self._apply_notice_single_writer(notice, pte, proc, seq, page)
+        else:
+            pte.add_notice(notice)
+
+    def apply_notices(self, notices: Iterable[WriteNotice], sender_vc: VectorClock) -> None:
+        """Apply a batch of notices and merge the sender's clock.
+
+        The fused loop below is :meth:`apply_notice` inlined for the
+        multiple-writer common case — synchronization batches carry
+        hundreds of notices (the master re-broadcasts every slave's
+        notices at each barrier), making this the engine's hottest loop.
+        Behaviour is identical; the inline path may merely skip the
+        per-entry ``_pending_keys`` bookkeeping because the ``seen`` check
+        already guarantees a (proc, seq, page) triple is applied at most
+        once (``prune_pending`` rebuilds the key set from ``pending``).
+        """
+        seen = self.seen
+        seen_by_proc = self._seen_by_proc
+        table_entries = self.table._entries
+        my_pid = self.pid
+        mw = Protocol.MULTIPLE_WRITER
+        mode_none = AccessMode.NONE
+        last_proc = -1
+        bucket: List = []
+        for n in notices:
+            proc = n.proc
+            seq = n.seq
+            page = n.page
+            key = (proc, seq, page)
+            if key in seen:
+                continue
+            seen[key] = n
+            # inline _index_notice (batches arrive sorted per writer, so
+            # the append branch is the norm)
+            if proc != last_proc:
+                bucket = seen_by_proc.get(proc)
+                if bucket is None:
+                    bucket = seen_by_proc[proc] = []
+                last_proc = proc
+            if bucket:
+                last = bucket[-1]
+                if seq > last[0] or (seq == last[0] and page >= last[1]):
+                    bucket.append((seq, page, n))
+                else:
+                    insort(bucket, (seq, page, n), key=_SEQ_PAGE)
+            else:
+                bucket.append((seq, page, n))
+            if proc == my_pid:
+                continue
+            pte = table_entries.get(page)
+            if pte is None:
+                pte = self._pte(page)
+            if pte.protocol is mw:
+                # inline pte.add_notice for the multiple-writer case
+                if pte.applied.entries[proc] >= seq:
+                    continue
+                pte.pending.append(n)
+                by_writer = pte.pending_by_writer
+                prev = by_writer.get(proc)
+                if prev is None or seq > prev:
+                    by_writer[proc] = seq
+                pte.mode = mode_none
+            else:
+                self._apply_notice_single_writer(n, pte, proc, seq, page)
+        self.vc.merge(sender_vc)
+
+    def _apply_notice_single_writer(
+        self, notice: WriteNotice, pte: PageTableEntry, proc: int, seq: int, page: int
+    ) -> None:
+        """Single-writer arm of :meth:`apply_notice` (shared with the
+        batch loop; the caller has already deduplicated and indexed)."""
+        applied = pte.applied
+        if applied.entries[proc] < seq:  # not covered by our copy
+            own_seq = applied.entries[self.pid]
             concurrent = (
                 own_seq > 0 and notice.vc.entries[self.pid] < own_seq
-            ) or notice.page in self.current_writes
+            ) or page in self.current_writes
             if concurrent:
                 pte.protocol = Protocol.MULTIPLE_WRITER
                 self.sim.tracer.emit(
-                    "dsm", "demote", f"{self.name} pg{notice.page} -> multiple-writer"
+                    "dsm", "demote", f"{self.name} pg{page} -> multiple-writer"
                 )
         pte.add_notice(notice)
         if pte.protocol is Protocol.SINGLE_WRITER:
             # The latest writer holds the complete page.
-            pte.owner = notice.proc
-            self.owners[notice.page] = notice.proc
-
-    def apply_notices(self, notices: Iterable[WriteNotice], sender_vc: VectorClock) -> None:
-        """Apply a batch of notices and merge the sender's clock."""
-        for n in notices:
-            self.apply_notice(n)
-        self.vc.merge(sender_vc)
+            pte.owner = proc
+            self.owners[page] = proc
 
     def _index_notice(self, notice: WriteNotice) -> None:
-        import bisect
-
-        bucket = self._seen_by_proc.setdefault(notice.proc, [])
-        entry = (notice.seq, notice.page, notice)
-        if not bucket or entry[:2] >= bucket[-1][:2]:
-            bucket.append(entry)
+        seq = notice.seq
+        page = notice.page
+        bucket = self._seen_by_proc.get(notice.proc)
+        if bucket is None:
+            self._seen_by_proc[notice.proc] = [(seq, page, notice)]
+            return
+        last = bucket[-1]
+        if seq > last[0] or (seq == last[0] and page >= last[1]):
+            bucket.append((seq, page, notice))
         else:
-            bisect.insort(bucket, entry[:2] + (notice,), key=lambda e: e[:2])
+            insort(bucket, (seq, page, notice), key=_SEQ_PAGE)
 
     def notices_unknown_to(self, other_vc: VectorClock) -> List[WriteNotice]:
         """All epoch notices this process knows that ``other_vc`` does not cover."""
-        import bisect
-
         out: List[WriteNotice] = []
+        entries = other_vc.entries
+        width = other_vc.width
         for proc in sorted(self._seen_by_proc):
             bucket = self._seen_by_proc[proc]
-            floor = other_vc.entries[proc] if proc < other_vc.width else 0
+            floor = entries[proc] if proc < width else 0
+            if bucket[-1][0] <= floor:
+                continue  # whole bucket already covered
             # first entry with seq > floor (pages sort after -1)
-            start = bisect.bisect_left(bucket, (floor + 1, -1), key=lambda e: e[:2])
+            start = bisect_left(bucket, (floor + 1, -1), key=_SEQ_PAGE)
             out.extend(entry[2] for entry in bucket[start:])
         return out
 
@@ -448,28 +599,45 @@ class DsmProcess:
         equivalent of the SEGV handler firing as compiled code touches
         shared arrays.
         """
-        reads = list(reads)
-        writes = list(writes)
-        write_pages: Dict[int, List[Range]] = {}
-        read_pages = set()
-        for lo, hi in writes:
-            for page in seg.pages_for_range(lo, hi):
-                wlo, whi = seg.page_window(page, self.cfg.dsm.page_size)
-                local = [
-                    (s - wlo, e - wlo)
-                    for s, e in clip([(lo, hi)], wlo, whi)
-                ]
-                write_pages.setdefault(page, []).extend(local)
-        for lo, hi in reads:
-            read_pages.update(seg.pages_for_range(lo, hi))
-
-        for page in sorted(read_pages | set(write_pages)):
+        reads = tuple(reads)
+        writes = tuple(writes)
+        page_size = self.cfg.dsm.page_size
+        # The page set and per-page write ranges are a pure function of the
+        # segment geometry and the requested ranges, so iterative programs
+        # (same ranges every sweep) hit the memo instead of recomputing.
+        if self._plan_cache_enabled:
+            plan = self.space.plan_cache.lookup(seg, reads, writes, page_size)
+        else:
+            plan = build_plan(seg, reads, writes, page_size)
+        if self._bulk_fetch:
+            yield from self._bulk_fetch_pages(plan)
+        current_writes = self.current_writes
+        write_ranges = plan.write_ranges
+        table_get = self.table.get
+        epoch = self.epoch
+        mode_none = AccessMode.NONE
+        for page, is_write in plan.pages:
             if self.stall_hook is not None:
                 yield from self.stall_hook()
-            yield from self._ensure_access(page, write=page in write_pages)
-            if page in write_pages:
-                prev = self.current_writes.setdefault(page, [])
-                self.current_writes[page] = merge(prev, write_pages[page])
+            # Fast path: a valid, up-to-date copy needs no fault — skip
+            # the _ensure_access generator machinery entirely.
+            pte = table_get(page)
+            if pte is None or not pte.valid or pte.pending:
+                yield from self._ensure_access(page, write=is_write)
+            else:
+                pte.last_access_epoch = epoch
+                if is_write:
+                    self._prepare_write(pte)
+                elif pte.mode is mode_none:
+                    pte.mode = AccessMode.READ
+            if is_write:
+                prev = current_writes.get(page)
+                if prev:
+                    current_writes[page] = merge(prev, write_ranges[page])
+                else:
+                    # First write of the interval to this page: the plan's
+                    # normalized ranges are exactly merge([], ranges).
+                    current_writes[page] = list(write_ranges[page])
 
     def access_batch(self, specs) -> Generator:
         """Access several segments in one region step.
@@ -479,6 +647,56 @@ class DsmProcess:
         """
         for seg, reads, writes in specs:
             yield from self.access(seg, reads, writes)
+
+    def _bulk_fetch_pages(self, plan) -> Generator:
+        """Coalesce the plan's invalid-page fetches by owner (opt-in).
+
+        With ``PerfParams.bulk_fetch`` on, a fault burst that would issue N
+        per-page PAGE_REQ/PAGE_REPLY exchanges to the same owner issues one
+        PAGE_BATCH_REQ instead: identical payload bytes on the wire, but
+        N-1 fewer message headers and a single round trip of latency.
+        Pages needing diffs (pending notices) still go through the normal
+        per-page path afterwards.
+        """
+        by_owner: Dict[int, List[int]] = {}
+        for page, _ in plan.pages:
+            pte = self._pte(page)
+            if pte.valid:
+                continue
+            owner = self.owner_of(page)
+            if owner == self.pid:
+                continue  # first touch at home: no network involved
+            by_owner.setdefault(owner, []).append(page)
+        for owner in sorted(by_owner):
+            pages = by_owner[owner]
+            if len(pages) < 2:
+                continue  # a single page takes the standard PAGE_REQ path
+            if self.stall_hook is not None:
+                yield from self.stall_hook()
+            t0 = self.sim.now
+            reply = yield from self.request_reply(
+                mk.PAGE_BATCH_REQ, owner, {"pages": pages}, size=8 * len(pages)
+            )
+            yield self.sim.timeout(
+                len(pages) * self.cfg.network.page_service_client
+            )
+            payload = reply.payload
+            tracer = self.sim.tracer
+            for page, applied, data in zip(
+                payload["pages"], payload["applied"], payload["data"]
+            ):
+                pte = self._pte(page)
+                if self.materialized:
+                    self.store.page_view(page)[:] = data
+                pte.valid = True
+                pte.applied.merge(applied)
+                pte.prune_pending()
+                self.stats.page_fetches += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        "dsm", "page_fetch", f"{self.name}<-P{owner} pg{page} (bulk)"
+                    )
+            self.stats.fault_wait_time += self.sim.now - t0
 
     def _ensure_access(self, page: int, write: bool) -> Generator:
         """Fault in one page for read or write access."""
@@ -515,7 +733,9 @@ class DsmProcess:
         pte.applied.merge(reply.payload["applied"])
         pte.prune_pending()
         self.stats.page_fetches += 1
-        self.sim.tracer.emit("dsm", "page_fetch", f"{self.name}<-P{from_pid} pg{pte.page}")
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit("dsm", "page_fetch", f"{self.name}<-P{from_pid} pg{pte.page}")
 
     def _fetch_pending(self, pte: PageTableEntry) -> Generator:
         """Bring a stale copy up to date (diffs, or full page re-fetch)."""
@@ -531,9 +751,9 @@ class DsmProcess:
             self.sim.tracer.emit(
                 "dsm", "demote", f"{self.name} pg{pte.page} -> multiple-writer"
             )
-        by_writer: Dict[int, int] = {}
-        for n in pte.pending:
-            by_writer[n.proc] = max(by_writer.get(n.proc, 0), n.seq)
+        # Incrementally maintained by PageTableEntry.add_notice — no rescan
+        # of the pending list on this hot path.
+        by_writer = pte.pending_by_writer
         collected: List[Diff] = []
         for writer in sorted(by_writer):
             if writer == self.pid:
@@ -596,39 +816,53 @@ class DsmProcess:
         if not self.current_writes:
             return []
         self.vc.tick(self.pid)
-        seq = self.vc.entries[self.pid]
-        rec = IntervalRecord(proc=self.pid, seq=seq, vc=self.vc.copy())
+        pid = self.pid
+        seq = self.vc.entries[pid]
+        rec = IntervalRecord(proc=pid, seq=seq, vc=self.vc.copy())
+        table_entries = self.table._entries
+        write_ranges = rec.write_ranges
+        diffs = rec.diffs
+        mode_read = AccessMode.READ
+        mw = Protocol.MULTIPLE_WRITER
         for page, ranges in sorted(self.current_writes.items()):
-            pte = self.table.entry(page)
-            rec.write_ranges[page] = ranges
+            pte = table_entries[page]
+            write_ranges[page] = ranges
             # Multiple-writer pages encode their diff now, from the twin.
             # Single-writer pages serve full-page refreshes instead; should
             # one be demoted later (write sharing after an adaptation), its
             # diff is encoded lazily at the first DIFF_REQ from the
             # recorded ranges (see _serve_diff).
-            if pte.protocol is Protocol.MULTIPLE_WRITER:
+            if pte.protocol is mw:
                 diff = make_diff(
-                    proc=self.pid,
+                    proc=pid,
                     seq=seq,
                     page=page,
                     vc=self.vc,
                     declared_ranges=ranges,
                     twin=pte.twin,
                     current=self.store.page_view(page) if self.materialized else None,
+                    declared_normalized=True,
                 )
                 if diff is not None:
-                    rec.diffs[page] = diff
+                    diffs[page] = diff
                     self.stats.diffs_created += 1
             pte.twin = None
-            pte.mode = AccessMode.READ
-            pte.applied.entries[self.pid] = seq
+            pte.mode = mode_read
+            pte.applied.entries[pid] = seq
         self.log.add(rec)
         self.current_writes = {}
         self.stats.intervals_closed += 1
         notices = rec.notices()
+        # Index our own notices directly: ``seq`` is a fresh maximum for
+        # our bucket and notices() is page-ascending, so plain appends
+        # keep the (seq, page) order _index_notice would establish.
+        seen = self.seen
+        bucket = self._seen_by_proc.get(pid)
+        if bucket is None:
+            bucket = self._seen_by_proc[pid] = []
         for n in notices:
-            self.seen[(n.proc, n.seq, n.page)] = n
-            self._index_notice(n)
+            seen[(pid, seq, n.page)] = n
+            bucket.append((seq, n.page, n))
         return notices
 
     def sync_notices(self) -> List[WriteNotice]:
@@ -636,12 +870,10 @@ class DsmProcess:
         has not yet been told about (lock releases create intervals the
         master never sees otherwise)."""
         self.close_interval()
-        import bisect
-
         last_sent = self._sent_to_master_seq
         my_seq = self.vc.entries[self.pid]
         bucket = self._seen_by_proc.get(self.pid, [])
-        start = bisect.bisect_left(bucket, (last_sent + 1, -1), key=lambda e: e[:2])
+        start = bisect_left(bucket, (last_sent + 1, -1), key=_SEQ_PAGE)
         out = [entry[2] for entry in bucket[start:] if entry[0] <= my_seq]
         self._sent_to_master_seq = my_seq
         return out
@@ -883,6 +1115,9 @@ class DsmProcess:
         """
         if self.seen or self.current_writes or len(self.log):
             raise ProtocolError(f"{self.name}: adapt_reset without a preceding GC")
+        # Team membership changed: conceptually a repartition, so drop all
+        # memoized access plans (they are rebuilt lazily on first use).
+        self.space.plan_cache.invalidate()
         self.pid = new_pid
         width = self.team.nprocs
         self.vc = VectorClock.zeros(width)

@@ -16,8 +16,16 @@ Range = Tuple[int, int]
 
 def normalize(ranges: Iterable[Range]) -> List[Range]:
     """Sort and coalesce overlapping/adjacent ranges; drop empties."""
+    rs = ranges if type(ranges) is list else list(ranges)
+    # Hot path: the overwhelmingly common cases are zero or one range
+    # (per-page write sets of contiguous row updates).
+    if not rs:
+        return []
+    if len(rs) == 1:
+        start, end = rs[0]
+        return [(start, end)] if start < end else []
     out: List[Range] = []
-    for start, end in sorted(r for r in ranges if r[0] < r[1]):
+    for start, end in sorted(r for r in rs if r[0] < r[1]):
         if out and start <= out[-1][1]:
             prev = out[-1]
             out[-1] = (prev[0], max(prev[1], end))
@@ -28,7 +36,13 @@ def normalize(ranges: Iterable[Range]) -> List[Range]:
 
 def merge(a: Iterable[Range], b: Iterable[Range]) -> List[Range]:
     """Union of two range lists."""
-    return normalize(list(a) + list(b))
+    a = a if type(a) is list else list(a)
+    b = b if type(b) is list else list(b)
+    if not a:
+        return normalize(b)
+    if not b:
+        return normalize(a)
+    return normalize(a + b)
 
 
 def total_bytes(ranges: Iterable[Range]) -> int:

@@ -189,8 +189,14 @@ class TmkRuntime:
         self.master = self.procs[TeamView.MASTER_PID]
         self.master.barrier_mgr = BarrierManager(self.master)
         self.master.lock_mgr = LockManager(self.master)
+        # The base runtime's stall_check is a no-op; installing it as a
+        # per-page-fault hook would only create and discard an empty
+        # generator per fault.  Subclasses that override it (the adaptive
+        # runtime's freeze protocol) get the hook installed.
+        install_stall = type(self).stall_check is not TmkRuntime.stall_check
         for proc in self.procs.values():
-            proc.stall_hook = self.stall_check
+            if install_stall:
+                proc.stall_hook = self.stall_check
             proc.start_server()
         self.master_ctx = RegionCtx(self, self.master)
         self.slave_vcs: Dict[int, VectorClock] = {

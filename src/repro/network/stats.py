@@ -14,7 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .message import DIFF_REPLY, PAGE_REPLY, Message
+from .message import DIFF_REPLY, PAGE_BATCH_REPLY, PAGE_REPLY, Message
 
 
 @dataclass
@@ -109,6 +109,8 @@ class TrafficStats:
         s.per_link_bytes[downlink] += wire
         if msg.kind in (PAGE_REPLY, "sc_data"):
             s.pages += 1
+        elif msg.kind == PAGE_BATCH_REPLY:
+            s.pages += int(msg.payload.get("n_pages", 1)) if isinstance(msg.payload, dict) else 1
         elif msg.kind == DIFF_REPLY:
             s.diffs += int(msg.payload.get("n_diffs", 1)) if isinstance(msg.payload, dict) else 1
 

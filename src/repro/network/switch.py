@@ -130,7 +130,9 @@ class Switch:
                     lambda: dst_nic.deliver(msg),
                 )
         self.sim.at(arrival, lambda: dst_nic.deliver(msg))
-        self.sim.tracer.emit("net", msg.kind, f"{msg.src}->{msg.dst} {wire_bytes}B")
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit("net", msg.kind, f"{msg.src}->{msg.dst} {wire_bytes}B")
         return arrival
 
     # -- convenience ----------------------------------------------------------

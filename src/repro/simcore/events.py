@@ -3,13 +3,19 @@
 The queue is a binary heap ordered by ``(time, priority, seq)``.  ``seq`` is
 a monotonically increasing counter so that events scheduled earlier run
 earlier among equals — this makes every simulation fully deterministic.
+
+:class:`Event` is deliberately not a dataclass: the heap performs millions
+of comparisons per run, so the class is slotted and the ordering is a
+hand-written ``__lt__`` over the three key fields (no per-comparison tuple
+construction).  The ordering semantics are identical to the previous
+``dataclass(order=True)`` form because ``seq`` is unique — comparisons
+never fall through to the non-key fields.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import SimulationError
@@ -22,23 +28,38 @@ URGENT = 0
 LATE = 20
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback, ordered by ``(time, priority, seq)``."""
 
-    Instances are ordered by ``(time, priority, seq)`` which is exactly the
-    heap order used by :class:`EventQueue`.
-    """
+    __slots__ = ("time", "priority", "seq", "action", "cancelled")
 
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    def __init__(self, time: float, priority: int, seq: int, action: Callable[[], None]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:  # pragma: no cover - identity semantics
+        return id(self)
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped."""
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} prio={self.priority} seq={self.seq}{flag}>"
 
 
 class EventQueue:
@@ -55,20 +76,22 @@ class EventQueue:
         """Schedule ``action`` at absolute ``time`` and return the event."""
         if time != time:  # NaN guard
             raise SimulationError("event time is NaN")
-        ev = Event(time=time, priority=priority, seq=next(self._seq), action=action)
+        ev = Event(time, priority, next(self._seq), action)
         heapq.heappush(self._heap, ev)
         return ev
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next non-cancelled event, or ``None``."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
             if not ev.cancelled:
                 return ev
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None

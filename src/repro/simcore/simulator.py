@@ -24,6 +24,9 @@ class Simulator:
         self._processes: set = set()
         self._failure: Optional[BaseException] = None
         self.tracer = Tracer(self, enabled=trace)
+        #: Events executed so far (cancelled events are not counted).  The
+        #: perfbench harness reports events/second from this.
+        self.events_executed: int = 0
 
     # -- scheduling -----------------------------------------------------
     def schedule(
@@ -86,21 +89,28 @@ class Simulator:
         :class:`DeadlockError` is raised — this catches lost messages and
         barrier mismatches in the DSM protocol immediately.
         """
-        while True:
-            if self._failure is not None:
-                raise self._failure
-            nxt = self._queue.peek_time()
-            if nxt is None:
-                break
-            if until is not None and nxt > until:
-                self.now = until
-                return self.now
-            ev = self._queue.pop()
-            assert ev is not None
-            if ev.time < self.now - 1e-12:
-                raise SimulationError("event queue went backwards in time")
-            self.now = max(self.now, ev.time)
-            ev.action()
+        queue = self._queue
+        executed = 0
+        try:
+            while True:
+                if self._failure is not None:
+                    raise self._failure
+                nxt = queue.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self.now = until
+                    return self.now
+                ev = queue.pop()
+                assert ev is not None
+                if ev.time < self.now - 1e-12:
+                    raise SimulationError("event queue went backwards in time")
+                if ev.time > self.now:
+                    self.now = ev.time
+                executed += 1
+                ev.action()
+        finally:
+            self.events_executed += executed
         if self._failure is not None:
             raise self._failure
         if check_deadlock:
@@ -120,6 +130,7 @@ class Simulator:
         if ev is None:
             return False
         self.now = max(self.now, ev.time)
+        self.events_executed += 1
         ev.action()
         if self._failure is not None:
             raise self._failure

@@ -1,0 +1,119 @@
+"""Tests for the wall-clock performance benchmark suite (repro.bench.perf)."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    SCHEMA,
+    PerfScenario,
+    calibrate_spin,
+    compare_to_baseline,
+    load_report,
+    micro_notice_apply,
+    micro_plan_lookup,
+    run_scenario,
+    scenarios,
+    write_report,
+)
+
+
+def entry(score):
+    return {"normalized_score": score}
+
+
+def report(scores):
+    return {"schema": SCHEMA, "results": {k: entry(v) for k, v in scores.items()}}
+
+
+class TestCompareToBaseline:
+    def test_no_regression(self):
+        base = report({"a": 1.0, "b": 0.5})
+        new = report({"a": 1.1, "b": 0.45})  # b drops 10% < 30% gate
+        assert compare_to_baseline(new, base, max_regression=0.30) == []
+
+    def test_regression_detected(self):
+        base = report({"a": 1.0})
+        new = report({"a": 0.5})
+        regs = compare_to_baseline(new, base, max_regression=0.30)
+        assert len(regs) == 1
+        name, old, cur, drop = regs[0]
+        assert name == "a" and old == 1.0 and cur == 0.5
+        assert drop == pytest.approx(0.5)
+
+    def test_boundary_not_a_regression(self):
+        """A drop of exactly max_regression passes (strict inequality)."""
+        base = report({"a": 1.0})
+        new = report({"a": 0.75})  # drop == 0.25 exactly in binary FP
+        assert compare_to_baseline(new, base, max_regression=0.25) == []
+
+    def test_scenario_missing_from_baseline_ignored(self):
+        base = report({"a": 1.0})
+        new = report({"a": 1.0, "brand-new": 0.001})
+        assert compare_to_baseline(new, base) == []
+
+    def test_scenario_missing_from_report_ignored(self):
+        base = report({"a": 1.0, "retired": 1.0})
+        new = report({"a": 1.0})
+        assert compare_to_baseline(new, base) == []
+
+    def test_nonpositive_baseline_ignored(self):
+        base = report({"a": 0.0})
+        new = report({"a": 0.0})
+        assert compare_to_baseline(new, base) == []
+
+    def test_improvement_never_flags(self):
+        base = report({"a": 0.1})
+        new = report({"a": 10.0})
+        assert compare_to_baseline(new, base, max_regression=0.0) == []
+
+
+class TestReportIO:
+    def test_write_load_roundtrip(self, tmp_path):
+        rep = report({"a": 1.25})
+        path = tmp_path / "BENCH_perf.json"
+        write_report(rep, str(path))
+        assert load_report(str(path)) == rep
+        # Stable serialization: sorted keys, trailing newline.
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == rep
+
+
+class TestScenarios:
+    def test_default_and_quick_presets(self):
+        default = scenarios()
+        quick = scenarios(quick=True)
+        assert [s.name for s in default] == ["jacobi-8", "gauss-8"]
+        assert [s.name for s in quick] == ["jacobi-8-quick", "gauss-8-quick"]
+        assert all(isinstance(s, PerfScenario) and s.nprocs == 8 for s in default + quick)
+
+    def test_paper_preset_appends_table1_jacobi(self):
+        names = [s.name for s in scenarios(paper=True)]
+        assert names[-1] == "jacobi-8-paper"
+
+
+class TestMeasurement:
+    def test_calibrate_spin_positive(self):
+        assert calibrate_spin(2_000) > 0
+
+    def test_micro_benchmarks_positive(self):
+        assert micro_notice_apply(2_000) > 0
+        assert micro_plan_lookup(2_000) > 0
+
+    def test_run_scenario_fields_consistent(self):
+        from repro.bench.calibrate import make_jacobi
+
+        entry = run_scenario(PerfScenario("tiny", lambda: make_jacobi(48, 3), 4))
+        for key in (
+            "wall_seconds", "sim_seconds", "events", "events_per_sec",
+            "sim_per_wall", "messages", "pages", "diffs",
+        ):
+            assert key in entry
+        assert entry["events"] > 0 and entry["wall_seconds"] > 0
+        assert entry["events_per_sec"] == pytest.approx(
+            entry["events"] / entry["wall_seconds"]
+        )
+        assert entry["sim_per_wall"] == pytest.approx(
+            entry["sim_seconds"] / entry["wall_seconds"]
+        )

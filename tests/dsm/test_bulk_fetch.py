@@ -1,0 +1,131 @@
+"""Tests for opt-in batched page movement (``PerfParams.bulk_fetch``).
+
+The PAGE_BATCH_REQ/REPLY exchange must move exactly the payload bytes of
+the per-page replies it replaces — only the per-message headers and the
+extra round trips are saved — and must leave materialized memory contents
+identical to the per-page path.
+"""
+
+import numpy as np
+
+from repro.bench.calibrate import make_jacobi
+from repro.bench.harness import run_experiment
+from repro.config import PerfParams, SystemConfig
+from repro.dsm import Protocol, SharedArray
+from repro.network.message import PAGE_BATCH_REPLY, PAGE_BATCH_REQ, PAGE_REPLY, PAGE_REQ
+
+from ..helpers import build_adaptive, build_system, run_phases
+
+BULK_CFG = SystemConfig(perf=PerfParams(bulk_fetch=True))
+
+
+def payload_bytes(traffic, kinds, header):
+    """Wire bytes of ``kinds`` minus the per-message header share."""
+    return sum(
+        traffic.by_kind_bytes.get(k, 0) - header * traffic.by_kind_messages.get(k, 0)
+        for k in kinds
+    )
+
+
+class TestBulkFetchTraced:
+    def run_pair(self, nprocs=8):
+        factory = lambda: make_jacobi(96, 6)
+        off = run_experiment(factory, nprocs=nprocs)
+        on = run_experiment(factory, nprocs=nprocs, cfg=BULK_CFG)
+        return off, on
+
+    def test_batches_actually_happen(self):
+        _, on = self.run_pair()
+        assert on.traffic.by_kind_messages.get(PAGE_BATCH_REQ, 0) > 0
+        assert on.traffic.by_kind_messages.get(PAGE_BATCH_REPLY, 0) > 0
+
+    def test_same_page_payload_bytes_fewer_messages(self):
+        off, on = self.run_pair()
+        header = SystemConfig().network.header_bytes
+        reply_kinds = (PAGE_REPLY, PAGE_BATCH_REPLY)
+        assert payload_bytes(on.traffic, reply_kinds, header) == payload_bytes(
+            off.traffic, reply_kinds, header
+        )
+        # Batching replaces per-page exchanges: strictly fewer messages.
+        assert on.traffic.messages < off.traffic.messages
+        # Every page still moves exactly once per fetch.
+        assert on.traffic.pages == off.traffic.pages
+        assert on.traffic.diffs == off.traffic.diffs
+
+    def test_request_payload_bytes_match(self):
+        """A batch request carries 8 bytes/page — the same as N PAGE_REQs."""
+        off, on = self.run_pair()
+        header = SystemConfig().network.header_bytes
+        req_kinds = (PAGE_REQ, PAGE_BATCH_REQ)
+        assert payload_bytes(on.traffic, req_kinds, header) == payload_bytes(
+            off.traffic, req_kinds, header
+        )
+
+    def test_runtime_changes_are_bounded(self):
+        """Bulk fetch changes modelled time (that is why it is opt-in):
+        it saves round trips and headers but serializes a whole burst's
+        service at the owner.  Either way the effect stays small."""
+        off, on = self.run_pair()
+        assert on.runtime_seconds != off.runtime_seconds
+        assert abs(on.runtime_seconds - off.runtime_seconds) < 0.1 * off.runtime_seconds
+
+
+class TestBulkFetchMaterialized:
+    def test_memory_contents_identical_to_per_page_path(self):
+        def run(cfg):
+            sim, rt, pool = build_system(nprocs=4, cfg=cfg)
+            seg = rt.malloc("A", shape=(64, 64), dtype="float64",
+                            protocol=Protocol.MULTIPLE_WRITER)
+            arr = SharedArray(seg)
+            final = {}
+
+            def init(ctx, pid, nprocs, args):
+                if pid == 0:
+                    yield from ctx.access(arr.seg, writes=arr.full())
+                    arr.view(ctx)[:] = np.arange(64 * 64, dtype=np.float64).reshape(64, 64)
+                yield from ctx.compute(1e-4)
+
+            def scale(ctx, pid, nprocs, args):
+                lo, hi = arr.block(pid, nprocs)
+                yield from ctx.access(arr.seg, reads=arr.rows(lo, hi),
+                                      writes=arr.rows(lo, hi))
+                arr.view(ctx)[lo:hi] *= float(pid + 2)
+
+            def check(ctx, pid, nprocs, args):
+                yield from ctx.access(arr.seg, reads=arr.full())
+                if pid == 0:
+                    final["A"] = arr.view(ctx).copy()
+
+            run_phases(rt, {"init": init, "scale": scale, "check": check},
+                       ["init", "scale", "check"])
+            return final["A"], pool.switch.stats.snapshot()
+
+        base, base_traffic = run(None)
+        bulk, bulk_traffic = run(BULK_CFG)
+        np.testing.assert_array_equal(bulk, base)
+        # The 64x64 float64 array spans 8 pages (2 per process), so the
+        # scale phase fault bursts must have used the batch path.
+        assert bulk_traffic.by_kind_messages.get(PAGE_BATCH_REPLY, 0) > 0
+        assert base_traffic.by_kind_messages.get(PAGE_BATCH_REPLY, 0) == 0
+        assert bulk_traffic.pages == base_traffic.pages
+
+
+class TestBulkFetchAdaptive:
+    def test_adaptive_run_completes_with_bulk_fetch(self):
+        sim, rt, pool = build_adaptive(nprocs=4, extra_nodes=1, cfg=BULK_CFG)
+        seg = rt.malloc("A", shape=(32, 32), dtype="float64",
+                        protocol=Protocol.MULTIPLE_WRITER)
+        arr = SharedArray(seg)
+
+        def sweep(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(arr.seg, reads=arr.full(),
+                                  writes=arr.rows(lo, hi))
+            if ctx.materialized:
+                arr.view(ctx)[lo:hi] += 1.0
+            yield from ctx.compute(0.05)
+
+        sim.schedule(0.01, lambda: rt.submit_join(4))
+        res = run_phases(rt, {"sweep": sweep}, ["sweep"] * 40)
+        assert res.adaptations == 1
+        assert res.adapt_log[0].nprocs_after == 5

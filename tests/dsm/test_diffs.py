@@ -31,6 +31,23 @@ class TestChangedRanges:
         cur[5:20] = 3
         assert changed_ranges(twin, cur) == [(5, 20)]
 
+    def test_full_page_run(self):
+        """Every byte changed: one run covering the whole page."""
+        twin = np.zeros(4096, dtype=np.uint8)
+        cur = np.ones(4096, dtype=np.uint8)
+        assert changed_ranges(twin, cur) == [(0, 4096)]
+
+    def test_alternating_single_byte_runs(self):
+        """Worst-case fragmentation: every other byte changed."""
+        twin = np.zeros(64, dtype=np.uint8)
+        cur = twin.copy()
+        cur[::2] = 1
+        assert changed_ranges(twin, cur) == [(i, i + 1) for i in range(0, 64, 2)]
+
+    def test_empty_arrays(self):
+        a = np.zeros(0, dtype=np.uint8)
+        assert changed_ranges(a, a.copy()) == []
+
     def test_shape_mismatch_raises(self):
         with pytest.raises(ValueError):
             changed_ranges(np.zeros(4, np.uint8), np.zeros(5, np.uint8))

@@ -1,0 +1,82 @@
+"""End-to-end identity of the plan-cache fast path.
+
+``PerfParams.plan_cache`` memoizes a pure computation, so every simulated
+output — modelled runtime, traffic, per-process protocol statistics, and
+the full trace-record stream — must be bitwise identical with the cache
+on and off.  These tests run the same workloads both ways (including an
+adaptive join/leave run, which exercises cache invalidation) and compare
+everything.
+"""
+
+from repro.bench.calibrate import make_jacobi
+from repro.bench.harness import run_experiment
+from repro.config import PerfParams, SystemConfig
+from repro.dsm import Protocol, SharedArray
+
+from ..helpers import build_adaptive, run_phases
+
+CACHE_OFF = SystemConfig(perf=PerfParams(plan_cache=False))
+
+
+def assert_identical(res_on, res_off, rt_on, rt_off):
+    assert res_on.runtime_seconds == res_off.runtime_seconds
+    assert res_on.traffic == res_off.traffic
+    stats_on = {p.pid: p.stats for p in rt_on.procs.values()}
+    stats_off = {p.pid: p.stats for p in rt_off.procs.values()}
+    assert stats_on == stats_off
+    assert rt_on.sim.tracer.records == rt_off.sim.tracer.records
+    # The comparison is meaningful only if the fast path actually ran.
+    assert rt_on.space.plan_cache.hits > 0
+    assert rt_off.space.plan_cache.hits == 0
+
+
+class TestPlanCacheIdentity:
+    def test_traced_jacobi_bitwise_identical(self):
+        factory = lambda: make_jacobi(96, 6)
+        on = run_experiment(factory, nprocs=8, trace=True)
+        off = run_experiment(factory, nprocs=8, trace=True, cfg=CACHE_OFF)
+        assert_identical(on, off, on.runtime, off.runtime)
+
+    def test_materialized_jacobi_bitwise_identical(self):
+        factory = lambda: make_jacobi(64, 4)
+        on = run_experiment(factory, nprocs=4, trace=True, materialized=True)
+        off = run_experiment(
+            factory, nprocs=4, trace=True, materialized=True, cfg=CACHE_OFF
+        )
+        assert_identical(on, off, on.runtime, off.runtime)
+
+    def test_adaptive_join_leave_bitwise_identical(self):
+        """Join + leave repartition the team: the cache must invalidate and
+        still produce an identical run."""
+
+        def run(cfg):
+            sim, rt, pool = build_adaptive(
+                nprocs=3, extra_nodes=1, cfg=cfg, trace=True
+            )
+            seg = rt.malloc(
+                "A", shape=(48, 48), dtype="float64",
+                protocol=Protocol.MULTIPLE_WRITER,
+            )
+            arr = SharedArray(seg)
+
+            def sweep(ctx, pid, nprocs, args):
+                lo, hi = arr.block(pid, nprocs)
+                yield from ctx.access(
+                    arr.seg, reads=arr.full(), writes=arr.rows(lo, hi)
+                )
+                arr.view(ctx)[lo:hi] += 1.0
+                yield from ctx.compute(0.05)
+
+            sim.schedule(0.01, lambda: rt.submit_join(3))
+            sim.schedule(1.5, lambda: rt.submit_leave(1))
+            res = run_phases(rt, {"sweep": sweep}, ["sweep"] * 50)
+            return res, rt
+
+        res_on, rt_on = run(None)
+        res_off, rt_off = run(CACHE_OFF)
+        assert res_on.adaptations >= 2  # the join and the leave both landed
+        assert res_on.adaptations == res_off.adaptations
+        assert res_on.adapt_log == res_off.adapt_log
+        assert_identical(res_on, res_off, rt_on, rt_off)
+        # Adaptation bumped the epoch at least once.
+        assert rt_on.space.plan_cache.epoch > 0

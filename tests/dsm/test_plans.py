@@ -1,0 +1,134 @@
+"""Tests for cached access plans (repro.dsm.plans)."""
+
+import pytest
+
+from repro.dsm.memory import AddressSpace
+from repro.dsm.page import Protocol
+from repro.dsm.plans import PlanCache, build_plan
+from repro.dsm.ranges import clip, normalize
+from repro.errors import AllocationError
+
+PAGE = 4096
+
+
+def make_space(npages=8):
+    space = AddressSpace(page_size=PAGE)
+    seg = space.alloc("seg", npages * PAGE, protocol=Protocol.MULTIPLE_WRITER)
+    return space, seg
+
+
+def legacy_plan(seg, reads, writes, page_size):
+    """The original uncached access() page/range computation, re-derived."""
+    pages = {}
+    write_ranges = {}
+    for lo, hi in writes:
+        for page in seg.pages_for_range(lo, hi):
+            pages[page] = True
+            wlo, whi = seg.page_window(page, page_size)
+            local = [(s - wlo, e - wlo) for s, e in clip([(lo, hi)], wlo, whi)]
+            write_ranges[page] = normalize(write_ranges.get(page, []) + local)
+    for lo, hi in reads:
+        for page in seg.pages_for_range(lo, hi):
+            pages.setdefault(page, False)
+    ordered = tuple((p, pages[p]) for p in sorted(pages))
+    return ordered, write_ranges
+
+
+class TestBuildPlan:
+    def test_matches_legacy_logic(self):
+        _, seg = make_space()
+        cases = [
+            ((), ()),
+            (((0, PAGE),), ()),
+            ((), ((0, PAGE),)),
+            (((0, 3 * PAGE),), ((PAGE + 100, 2 * PAGE + 50),)),
+            (((PAGE // 2, PAGE + 10), (5 * PAGE, 6 * PAGE)), ((0, 10), (0, 5), (PAGE - 1, PAGE + 1))),
+            (((0, 8 * PAGE),), ((0, 8 * PAGE),)),
+        ]
+        for reads, writes in cases:
+            plan = build_plan(seg, reads, writes, PAGE)
+            pages, write_ranges = legacy_plan(seg, reads, writes, PAGE)
+            assert plan.pages == pages, (reads, writes)
+            assert plan.write_ranges == write_ranges, (reads, writes)
+
+    def test_pages_sorted_and_flagged(self):
+        _, seg = make_space()
+        plan = build_plan(seg, ((3 * PAGE, 4 * PAGE),), ((0, PAGE),), PAGE)
+        assert plan.pages == (
+            (seg.page0, True),
+            (seg.page0 + 3, False),
+        )
+
+    def test_write_ranges_are_page_local_and_normalized(self):
+        _, seg = make_space()
+        plan = build_plan(
+            seg, (), ((PAGE + 10, PAGE + 20), (PAGE + 20, PAGE + 40)), PAGE
+        )
+        assert plan.write_ranges == {seg.page0 + 1: [(10, 40)]}
+
+    def test_partial_last_page_clipped_to_segment(self):
+        space = AddressSpace(page_size=PAGE)
+        seg = space.alloc("odd", PAGE + 100)  # 2 pages, last is 100 bytes
+        plan = build_plan(seg, (), ((PAGE, PAGE + 100),), PAGE)
+        assert plan.write_ranges == {seg.page0 + 1: [(0, 100)]}
+
+    def test_out_of_range_raises(self):
+        _, seg = make_space()
+        with pytest.raises(AllocationError):
+            build_plan(seg, (), ((0, 9 * PAGE),), PAGE)
+
+
+class TestPlanCache:
+    def test_hit_returns_same_object(self):
+        space, seg = make_space()
+        cache = space.plan_cache
+        key = (seg, ((0, PAGE),), ((PAGE, 2 * PAGE),), PAGE)
+        first = cache.lookup(*key)
+        second = cache.lookup(*key)
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_hit_equals_miss_path(self):
+        space, seg = make_space()
+        reads, writes = ((0, 2 * PAGE),), ((PAGE + 5, PAGE + 99),)
+        cached = space.plan_cache.lookup(seg, reads, writes, PAGE)
+        fresh = build_plan(seg, reads, writes, PAGE)
+        assert cached.pages == fresh.pages
+        assert cached.write_ranges == fresh.write_ranges
+
+    def test_invalidate_discards_plans(self):
+        space, seg = make_space()
+        cache = space.plan_cache
+        first = cache.lookup(seg, ((0, PAGE),), (), PAGE)
+        cache.invalidate()
+        second = cache.lookup(seg, ((0, PAGE),), (), PAGE)
+        assert second is not first
+        assert cache.misses == 2
+
+    def test_failed_build_not_cached(self):
+        space, seg = make_space()
+        cache = space.plan_cache
+        bad = ((0, 100 * PAGE),)
+        for _ in range(2):
+            with pytest.raises(AllocationError):
+                cache.lookup(seg, (), bad, PAGE)
+        assert cache._plans == {}
+        assert cache.hits == 0
+
+    def test_capacity_wholesale_clear(self):
+        space, seg = make_space()
+        cache = PlanCache(capacity=4)
+        for i in range(4):
+            cache.lookup(seg, ((i, i + 1),), (), PAGE)
+        assert len(cache._plans) == 4
+        cache.lookup(seg, ((100, 101),), (), PAGE)
+        assert len(cache._plans) == 1  # cleared, then the new plan inserted
+
+    def test_distinct_keys_distinct_plans(self):
+        space, seg = make_space()
+        cache = space.plan_cache
+        a = cache.lookup(seg, ((0, PAGE),), (), PAGE)
+        b = cache.lookup(seg, (), ((0, PAGE),), PAGE)
+        assert a is not b
+        assert a.pages == ((seg.page0, False),)
+        assert b.pages == ((seg.page0, True),)
