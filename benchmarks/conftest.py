@@ -38,17 +38,37 @@ def table1_grid():
 
     Session-scoped: Table 1, the §5.4 benches, and the speedup checks all
     read from this grid, so the expensive sweep runs once.
-    """
-    from repro.bench import BENCH_CALIBRATED, run_experiment
 
-    grid = {}
-    for app_name, factory in BENCH_CALIBRATED.items():
-        for nprocs in (1, 4, 8):
-            for adaptive in (False, True):
-                grid[(app_name, nprocs, adaptive)] = run_experiment(
-                    factory, nprocs=nprocs, adaptive=adaptive
-                )
-    return grid
+    The grid runs through the ``repro.exec`` engine: set
+    ``REPRO_BENCH_JOBS`` to shard the 24 cells across worker processes
+    (the merged results are bitwise-identical to serial execution), and
+    ``REPRO_BENCH_NO_CACHE=1`` to bypass the content-addressed result
+    cache under ``benchmarks/results/cache/``.
+    """
+    import os
+
+    from repro.apps import APP_NAMES
+    from repro.exec import ResultCache, run_specs, spec_from_preset
+
+    cells = [
+        (app_name, nprocs, adaptive)
+        for app_name in APP_NAMES
+        for nprocs in (1, 4, 8)
+        for adaptive in (False, True)
+    ]
+    specs = [
+        spec_from_preset("bench", app_name, nprocs, calibrated=True,
+                         adaptive=adaptive,
+                         label=f"{app_name}-{nprocs}{'-adpt' if adaptive else ''}")
+        for app_name, nprocs, adaptive in cells
+    ]
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = (
+        None if os.environ.get("REPRO_BENCH_NO_CACHE")
+        else ResultCache(root=pathlib.Path(__file__).parent / "results" / "cache")
+    )
+    outcome = run_specs(specs, jobs=jobs, cache=cache)
+    return dict(zip(cells, outcome.results))
 
 
 @pytest.fixture(autouse=True)

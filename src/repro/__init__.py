@@ -30,7 +30,7 @@ from .network import Switch
 from .openmp import OmpProgram, ParallelFor, compile_openmp, strip_mine
 from .simcore import Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveRuntime",

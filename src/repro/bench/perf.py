@@ -24,7 +24,10 @@ import json
 import platform
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec import ScenarioSpec
 
 SCHEMA = "repro-perfbench/1"
 
@@ -134,15 +137,18 @@ def run_micro() -> Dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
-# end-to-end scenarios
+# end-to-end scenarios (executed through the repro.exec engine)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class PerfScenario:
-    """One end-to-end engine benchmark: a workload on N simulated nodes."""
+    """One end-to-end engine benchmark: a declarative scenario spec."""
 
     name: str
-    factory: Callable[[], object]
-    nprocs: int
+    spec: "ScenarioSpec"
+
+    @property
+    def nprocs(self) -> int:
+        return self.spec.nprocs
 
 
 def scenarios(quick: bool = False, paper: bool = False) -> List[PerfScenario]:
@@ -153,24 +159,49 @@ def scenarios(quick: bool = False, paper: bool = False) -> List[PerfScenario]:
     smoke runs; ``paper`` adds the full Table-1 Jacobi configuration
     (minutes of wall time).
     """
-    from ..apps.workloads import BENCH
-    from .calibrate import make_gauss, make_jacobi
+    from ..exec import ScenarioSpec, spec_from_preset
 
     if quick:
         out = [
-            PerfScenario("jacobi-8-quick", lambda: make_jacobi(350, 20), 8),
-            PerfScenario("gauss-8-quick", lambda: make_gauss(256), 8),
+            PerfScenario("jacobi-8-quick", ScenarioSpec(
+                kernel="jacobi", params={"n": 350, "iterations": 20},
+                nprocs=8, calibrated=True, label="jacobi-8-quick")),
+            PerfScenario("gauss-8-quick", ScenarioSpec(
+                kernel="gauss", params={"n": 256, "iterations": 255},
+                nprocs=8, calibrated=True, label="gauss-8-quick")),
         ]
     else:
+        # The BENCH workload presets with their stock (uncalibrated)
+        # compute rates — identical simulations to the pre-engine suite,
+        # so committed baselines carry over.
         out = [
-            PerfScenario("jacobi-8", BENCH["jacobi"].factory, 8),
-            PerfScenario("gauss-8", BENCH["gauss"].factory, 8),
+            PerfScenario("jacobi-8", spec_from_preset(
+                "bench", "jacobi", 8, calibrated=False, label="jacobi-8")),
+            PerfScenario("gauss-8", spec_from_preset(
+                "bench", "gauss", 8, calibrated=False, label="gauss-8")),
         ]
     if paper:
-        from ..apps.workloads import PAPER
-
-        out.append(PerfScenario("jacobi-8-paper", PAPER["jacobi"].factory, 8))
+        out.append(PerfScenario("jacobi-8-paper", spec_from_preset(
+            "paper", "jacobi", 8, calibrated=False, label="jacobi-8-paper")))
     return out
+
+
+def _entry_from_result(result, wall: float, cached: bool = False) -> Dict[str, float]:
+    """A report entry from a ScenarioResult + measured wall seconds."""
+    entry = {
+        "wall_seconds": wall,
+        "sim_seconds": result.runtime_seconds,
+        "events": result.events,
+        "events_per_sec": result.events / wall if wall > 0 else float("inf"),
+        "sim_per_wall": result.runtime_seconds / wall if wall > 0 else float("inf"),
+        "messages": result.messages,
+        "pages": result.pages,
+        "diffs": result.diffs,
+    }
+    if cached:
+        # Wall numbers replayed from the cache, not measured this run.
+        entry["cached"] = True
+    return entry
 
 
 def run_scenario(scenario: PerfScenario, repeat: int = 1) -> Dict[str, float]:
@@ -179,28 +210,54 @@ def run_scenario(scenario: PerfScenario, repeat: int = 1) -> Dict[str, float]:
     The simulated outputs (runtime, traffic) are identical across repeats
     by construction — only the wall clock varies.
     """
-    from .harness import run_experiment
+    from ..exec import run_spec
 
-    best_wall = float("inf")
-    res = None
-    events = 0
-    for _ in range(max(1, repeat)):
-        t0 = time.perf_counter()
-        res = run_experiment(scenario.factory, nprocs=scenario.nprocs)
-        wall = time.perf_counter() - t0
-        if wall < best_wall:
-            best_wall = wall
-            events = res.runtime.sim.events_executed
-    traffic = res.traffic
+    result, wall = run_spec(scenario.spec, repeat=repeat)
+    return _entry_from_result(result, wall)
+
+
+# ---------------------------------------------------------------------------
+# parallel-sweep check: the engine's --jobs speedup, measured
+# ---------------------------------------------------------------------------
+def run_parallel_check(
+    n_scenarios: int = 8, jobs: Optional[int] = None,
+    n: int = 280, iterations: int = 16,
+) -> Dict[str, float]:
+    """Measure ``run_specs`` wall-clock speedup: serial vs ``jobs`` workers.
+
+    Builds ``n_scenarios`` equal-cost, distinct-digest Jacobi scenarios
+    (the seed field varies, so no two are cache-equivalent), runs the
+    list with ``jobs=1`` (in-process serial — the legacy execution path)
+    and again with the worker pool, and reports both walls plus the
+    bitwise-identity verdict of the two result lists.
+    """
+    from ..exec import ScenarioSpec, default_jobs, run_specs
+
+    jobs = jobs if jobs is not None else default_jobs()
+    specs = [
+        ScenarioSpec(
+            kernel="jacobi", params={"n": n, "iterations": iterations},
+            nprocs=8, calibrated=True, seed=0x5EED + k, label=f"par-{k}",
+        )
+        for k in range(n_scenarios)
+    ]
+    serial = run_specs(specs, jobs=1)
+    parallel = run_specs(specs, jobs=jobs)
+    identical = (
+        [a.to_json() for a in serial.results]
+        == [b.to_json() for b in parallel.results]
+    )
+    speedup = (
+        serial.wall_seconds / parallel.wall_seconds
+        if parallel.wall_seconds > 0 else float("inf")
+    )
     return {
-        "wall_seconds": best_wall,
-        "sim_seconds": res.runtime_seconds,
-        "events": events,
-        "events_per_sec": events / best_wall if best_wall > 0 else float("inf"),
-        "sim_per_wall": res.runtime_seconds / best_wall if best_wall > 0 else float("inf"),
-        "messages": traffic.messages,
-        "pages": traffic.pages,
-        "diffs": traffic.diffs,
+        "scenarios": len(specs),
+        "jobs": parallel.jobs,
+        "serial_wall_seconds": serial.wall_seconds,
+        "parallel_wall_seconds": parallel.wall_seconds,
+        "speedup": speedup,
+        "identical": identical,
     }
 
 
@@ -208,33 +265,57 @@ def run_scenario(scenario: PerfScenario, repeat: int = 1) -> Dict[str, float]:
 # the full report + regression gate
 # ---------------------------------------------------------------------------
 def run_perfbench(
-    quick: bool = False, paper: bool = False, repeat: int = 1
+    quick: bool = False, paper: bool = False, repeat: int = 1,
+    jobs: int = 1, cache=None, refresh: bool = False,
+    parallel_check: bool = False,
 ) -> Dict:
-    """Run calibration, microbenchmarks, and all scenarios; build the report."""
+    """Run calibration, microbenchmarks, and all scenarios; build the report.
+
+    ``jobs`` shards the end-to-end scenarios across the
+    :mod:`repro.exec` worker pool (each worker times its own scenario;
+    with more workers than cores the absolute wall numbers degrade, but
+    ``normalized_score`` still cancels machine speed to first order).
+    ``cache`` (a :class:`~repro.exec.ResultCache`) replays previously
+    measured entries — their wall numbers come from the run that stored
+    them and are marked ``"cached": true``.
+    """
+    from ..exec import run_specs
+
     spin = calibrate_spin()
     micro = {
         "event_spin_per_sec": spin,
         "notice_apply_per_sec": micro_notice_apply(),
         "plan_lookup_per_sec": micro_plan_lookup(),
     }
+    scen = scenarios(quick=quick, paper=paper)
+    outcome = run_specs(
+        [s.spec for s in scen], jobs=jobs, cache=cache, refresh=refresh,
+        repeat=repeat,
+    )
     results: Dict[str, Dict[str, float]] = {}
-    for scenario in scenarios(quick=quick, paper=paper):
-        entry = run_scenario(scenario, repeat=repeat)
+    for scenario, task in zip(scen, outcome.outcomes):
+        entry = _entry_from_result(task.result, task.wall_seconds,
+                                   cached=task.cached)
         entry["normalized_score"] = (
             entry["events_per_sec"] / spin if spin > 0 else 0.0
         )
         results[scenario.name] = entry
-    return {
+    report = {
         "schema": SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "quick": quick,
         "repeat": repeat,
+        "jobs": jobs,
+        "cache": outcome.cache_stats.as_dict() if cache is not None else None,
         "calibration": {"spin_events_per_sec": spin, "spin_events": SPIN_EVENTS},
         "micro": micro,
         "results": results,
     }
+    if parallel_check:
+        report["parallel"] = run_parallel_check()
+    return report
 
 
 def write_report(report: Dict, path: str) -> None:

@@ -88,13 +88,76 @@ def recovery_sweep(
     n: int = 96,
     iterations: int = 30,
     verify: bool = True,
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> List[RecoveryPoint]:
     """Run the sweep; ``None`` in ``intervals`` means no checkpointing.
 
     The crash is injected at ``crash_fraction`` of the fault-free runtime,
     on the node hosting the last pid — the same instant for every
     interval, so the points are directly comparable.
+
+    The per-interval runs go through the :mod:`repro.exec` engine —
+    ``jobs`` shards them across worker processes and ``cache`` (a
+    :class:`~repro.exec.ResultCache`) skips re-simulating unchanged
+    points.  A custom ``cfg`` is not expressible as a scenario spec, so
+    it forces the legacy serial in-process path.
     """
+    if cfg is not None:
+        return _recovery_sweep_legacy(
+            intervals, nprocs, crash_fraction, cfg, n, iterations, verify,
+        )
+
+    from ..exec import AdaptEvent, ScenarioSpec, run_specs
+
+    base_spec = ScenarioSpec(
+        kernel="jacobi-resumable", params={"n": n, "iterations": iterations},
+        nprocs=nprocs, calibrated=False, adaptive=True, materialized=True,
+        extra_nodes=1, label="recovery-baseline",
+    )
+    baseline = run_specs(
+        [base_spec], jobs=1, cache=cache, refresh=refresh,
+    ).results[0]
+    crash_at = baseline.runtime_seconds * crash_fraction
+
+    specs = [
+        base_spec.replaced(
+            events=(AdaptEvent("crash", crash_at),),  # node of the last pid
+            checkpoint_interval=interval,
+            failure_detection=True,
+            label=f"recovery-ckpt-{'off' if interval is None else interval}",
+        )
+        for interval in intervals
+    ]
+    outcome = run_specs(specs, jobs=jobs, cache=cache, refresh=refresh)
+
+    points: List[RecoveryPoint] = []
+    for interval, res in zip(intervals, outcome.results):
+        rec = res.recoveries[0] if res.recoveries else None
+        points.append(RecoveryPoint(
+            checkpoint_interval=interval,
+            runtime_seconds=res.runtime_seconds,
+            fault_free_seconds=baseline.runtime_seconds,
+            checkpoints_taken=res.checkpoints_taken,
+            detection_latency=rec["detection_latency"] if rec else 0.0,
+            restore_seconds=rec["restore_seconds"] if rec else 0.0,
+            lost_work_seconds=rec["lost_work_seconds"] if rec else 0.0,
+            verified=res.verified if verify else None,
+        ))
+    return points
+
+
+def _recovery_sweep_legacy(
+    intervals: Sequence[Optional[float]],
+    nprocs: int,
+    crash_fraction: float,
+    cfg: Optional[SystemConfig],
+    n: int,
+    iterations: int,
+    verify: bool,
+) -> List[RecoveryPoint]:
+    """In-process sweep for callers passing a custom :class:`SystemConfig`."""
     factory = lambda: make_recovery_jacobi(n=n, iterations=iterations)
 
     baseline = run_experiment(

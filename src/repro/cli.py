@@ -7,6 +7,7 @@
     python -m repro run jacobi --nprocs 8 --adaptive \
         --event leave:0.5:3 --event join:1.5:3
     python -m repro table1                    # regenerate Table 1
+    python -m repro sweep --jobs 4            # app x nodes grid, parallel + cached
     python -m repro micro                     # §5.1 micro-benchmarks
     python -m repro fig3                      # Figure 3 analytic fractions
     python -m repro migration                 # §5.3 migration cost model
@@ -20,7 +21,6 @@ from typing import List, Optional
 
 from .apps import APP_NAMES, BENCH, PAPER, TINY
 from .bench import (
-    BENCH_CALIBRATED,
     FIGURE3_MOVED,
     MICRO,
     MIGRATION_COST,
@@ -180,23 +180,132 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _make_cache(args):
+    """A ResultCache honoring ``--no-cache``/``--cache-dir``, or None."""
+    if getattr(args, "no_cache", False):
+        return None
+    from .exec import ResultCache
+
+    return ResultCache(root=args.cache_dir)
+
+
+def _progress_printer(total_specs):
+    """A run_specs progress callback streaming one line per task to stderr."""
+    def progress(outcome, done, total):
+        how = "cache" if outcome.cached else (
+            f"ran in {outcome.wall_seconds:.2f}s"
+            + (f" after {outcome.attempts} attempts" if outcome.attempts > 1 else "")
+        )
+        print(f"  [{done}/{total}] {outcome.spec.display_name}: {how}",
+              file=sys.stderr)
+    return progress
+
+
+def _sweep_summary(outcome) -> str:
+    s = outcome.cache_stats
+    return (f"{len(outcome.outcomes)} scenario(s): {outcome.cache_hits} from "
+            f"cache, {outcome.executed} executed ({outcome.retried} retried) "
+            f"on {outcome.jobs} job(s) in {outcome.wall_seconds:.2f}s "
+            f"[cache hits={s.hits} misses={s.misses} "
+            f"invalidations={s.invalidations} stores={s.stores}]")
+
+
 def cmd_table1(args) -> int:
+    from .exec import run_specs, spec_from_preset
+
+    grid = [(app, nprocs) for app in APP_NAMES for nprocs in (8, 4, 1)]
+    specs = [
+        spec_from_preset("bench", app, nprocs, calibrated=True,
+                         label=f"{app}-{nprocs}")
+        for app, nprocs in grid
+    ]
+    outcome = run_specs(
+        specs, jobs=args.jobs, cache=_make_cache(args), refresh=args.refresh,
+        progress=_progress_printer(len(specs)),
+    )
     rows = []
-    for app in APP_NAMES:
-        for nprocs in (8, 4, 1):
-            res = run_experiment(BENCH_CALIBRATED[app], nprocs=nprocs)
-            paper = TABLE1[(app, nprocs)]
-            rows.append([
-                app, nprocs, f"{res.runtime_seconds:.2f}", res.pages,
-                f"{res.megabytes:.1f}", res.messages, res.diffs,
-                paper.time_standard, paper.diffs,
-            ])
+    for (app, nprocs), res in zip(grid, outcome.results):
+        paper = TABLE1[(app, nprocs)]
+        rows.append([
+            app, nprocs, f"{res.runtime_seconds:.2f}", res.pages,
+            f"{res.megabytes:.1f}", res.messages, res.diffs,
+            paper.time_standard, paper.diffs,
+        ])
     print(format_table(
         ["app", "nodes", "t(s)", "pages", "MB", "messages", "diffs",
          "paper t(s)", "paper diffs"],
         rows,
         title="Table 1 (scaled workloads, standard system)",
     ))
+    print(f"  {_sweep_summary(outcome)}", file=sys.stderr)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .exec import run_specs, spec_from_preset
+
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    for app in apps:
+        if app not in APP_NAMES:
+            print(f"unknown app {app!r}; one of {', '.join(APP_NAMES)}",
+                  file=sys.stderr)
+            return 2
+    try:
+        nodes = [int(v) for v in args.nodes.split(",") if v.strip()]
+    except ValueError:
+        print(f"bad --nodes {args.nodes!r}; expected e.g. 1,4,8", file=sys.stderr)
+        return 2
+
+    grid = [(app, nprocs) for app in apps for nprocs in nodes]
+    specs = [
+        spec_from_preset(args.preset, app, nprocs,
+                         calibrated=not args.uncalibrated,
+                         label=f"{app}-{nprocs}")
+        for app, nprocs in grid
+    ]
+    outcome = run_specs(
+        specs, jobs=args.jobs, cache=_make_cache(args), refresh=args.refresh,
+        progress=_progress_printer(len(specs)),
+    )
+    rows = [
+        [app, nprocs, f"{res.runtime_seconds:.2f}", res.pages,
+         f"{res.megabytes:.1f}", res.messages, res.diffs,
+         "cache" if task.cached else f"{task.wall_seconds:.2f}s"]
+        for (app, nprocs), task, res in zip(
+            grid, outcome.outcomes, outcome.results)
+    ]
+    print(format_table(
+        ["app", "nodes", "t(s)", "pages", "MB", "messages", "diffs", "via"],
+        rows,
+        title=f"Scenario sweep ({args.preset} preset, "
+              f"{'stock' if args.uncalibrated else 'calibrated'} rates)",
+    ))
+    print(f"  {_sweep_summary(outcome)}", file=sys.stderr)
+    if args.json:
+        import json as _json
+
+        payload = {
+            "schema": "repro-sweep/1",
+            "preset": args.preset,
+            "jobs": outcome.jobs,
+            "cache": outcome.cache_stats.as_dict(),
+            "executed": outcome.executed,
+            "retried": outcome.retried,
+            "scenarios": [
+                {
+                    "spec": task.spec.canonical_dict(),
+                    "digest": task.spec.config_digest(),
+                    "label": task.spec.display_name,
+                    "cached": task.cached,
+                    "result": task.result.to_dict(),
+                }
+                for task in outcome.outcomes
+            ],
+        }
+        with open(args.json, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  sweep JSON written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -265,7 +374,16 @@ def cmd_perfbench(args) -> int:
         write_report,
     )
 
-    report = run_perfbench(quick=args.quick, paper=args.paper, repeat=args.repeat)
+    cache = None
+    if args.cache:
+        from .exec import ResultCache
+
+        cache = ResultCache(root=args.cache_dir)
+    report = run_perfbench(
+        quick=args.quick, paper=args.paper, repeat=args.repeat,
+        jobs=args.jobs, cache=cache, refresh=args.refresh,
+        parallel_check=args.parallel,
+    )
     rows = []
     for name, e in sorted(report["results"].items()):
         rows.append([
@@ -285,6 +403,16 @@ def cmd_perfbench(args) -> int:
     micro = report["micro"]
     print(f"  micro: notice apply {micro['notice_apply_per_sec'] / 1e3:.0f}k/s, "
           f"plan lookup {micro['plan_lookup_per_sec'] / 1e3:.0f}k/s")
+    if report.get("cache"):
+        c = report["cache"]
+        print(f"  cache: {c['hits']} hits, {c['misses']} misses, "
+              f"{c['invalidations']} invalidations, {c['stores']} stores")
+    if "parallel" in report:
+        p = report["parallel"]
+        print(f"  parallel: {p['scenarios']} scenarios, jobs={p['jobs']}, "
+              f"serial {p['serial_wall_seconds']:.2f}s vs parallel "
+              f"{p['parallel_wall_seconds']:.2f}s -> {p['speedup']:.2f}x "
+              f"(results identical: {p['identical']})")
     write_report(report, args.out)
     print(f"  report written to {args.out}")
     if args.baseline:
@@ -313,6 +441,9 @@ def cmd_recovery(args) -> int:
         intervals=intervals,
         nprocs=args.nprocs,
         crash_fraction=args.crash_fraction,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        refresh=args.refresh,
     )
     print(format_table(
         ["interval (s)", "t (s)", "overhead (s)", "ckpts", "detect (ms)",
@@ -324,6 +455,22 @@ def cmd_recovery(args) -> int:
     return 0 if all(p.verified in (True, None) for p in points) else 1
 
 
+def _add_engine_args(p, jobs_default=1, cache_default_on=True):
+    """The shared execution-engine flags (--jobs and the cache trio)."""
+    from .config import EXEC_CACHE_DIR
+
+    p.add_argument("--jobs", type=int, default=jobs_default,
+                   help="worker processes for the scenario engine "
+                        "(default: %(default)s; unset means one per core)")
+    if cache_default_on:
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the content-addressed result cache")
+    p.add_argument("--refresh", action="store_true",
+                   help="re-execute and re-store even on a warm cache")
+    p.add_argument("--cache-dir", default=EXEC_CACHE_DIR,
+                   help="result-cache directory (default: %(default)s)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -333,10 +480,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workload presets").set_defaults(fn=cmd_list)
     sub.add_parser("calibrate", help="show calibrated compute rates").set_defaults(fn=cmd_calibrate)
-    sub.add_parser("table1", help="regenerate Table 1").set_defaults(fn=cmd_table1)
+    t1 = sub.add_parser("table1", help="regenerate Table 1")
+    _add_engine_args(t1)
+    t1.set_defaults(fn=cmd_table1)
     sub.add_parser("micro", help="§5.1 micro-benchmark summary").set_defaults(fn=cmd_micro)
     sub.add_parser("fig3", help="Figure 3 analytic fractions").set_defaults(fn=cmd_fig3)
     sub.add_parser("migration", help="§5.3 migration cost model").set_defaults(fn=cmd_migration)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an app x nodes scenario grid through the parallel engine",
+    )
+    sweep.add_argument("--apps", default=",".join(APP_NAMES),
+                       help="comma-separated kernels (default: all)")
+    sweep.add_argument("--nodes", default="1,4,8",
+                       help="comma-separated team sizes (default: %(default)s)")
+    sweep.add_argument("--preset", choices=sorted(PRESETS), default="bench")
+    sweep.add_argument("--uncalibrated", action="store_true",
+                       help="use the kernels' stock compute rates instead of "
+                            "the Table-1-calibrated ones")
+    sweep.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the full sweep (specs, digests, "
+                            "results) as JSON")
+    _add_engine_args(sweep, jobs_default=None)
+    sweep.set_defaults(fn=cmd_sweep)
 
     run = sub.add_parser("run", help="run one kernel on a simulated NOW")
     run.add_argument("app", help=f"kernel: {', '.join(APP_NAMES)}")
@@ -378,6 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="baseline BENCH_perf.json to gate against")
     perf.add_argument("--max-regression", type=float, default=0.30,
                       help="allowed normalized-score drop vs the baseline")
+    perf.add_argument("--cache", action="store_true",
+                      help="replay scenario entries from the result cache "
+                           "(off by default: perfbench measures wall clock)")
+    perf.add_argument("--parallel", action="store_true",
+                      help="also measure the engine's --jobs speedup "
+                           "(serial vs worker pool, bitwise-compared)")
+    _add_engine_args(perf, cache_default_on=False)
     perf.set_defaults(fn=cmd_perfbench)
 
     rec = sub.add_parser(
@@ -388,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated checkpoint intervals in seconds")
     rec.add_argument("--crash-fraction", type=float, default=0.55,
                      help="crash instant as a fraction of the fault-free run")
+    _add_engine_args(rec)
     rec.set_defaults(fn=cmd_recovery)
     return parser
 

@@ -245,6 +245,46 @@ class PerfParams:
             raise ConfigurationError("plan_cache_capacity must be >= 1")
 
 
+#: Default location of the content-addressed scenario-result cache
+#: (relative to the working directory; gitignored).
+EXEC_CACHE_DIR = "benchmarks/results/cache"
+
+#: Extra attempts granted to a scenario whose worker process dies.
+EXEC_RETRIES = 1
+
+
+@dataclass(frozen=True)
+class ExecParams:
+    """Host-side execution-engine defaults (:mod:`repro.exec`).
+
+    Unlike every other parameter group these describe the *host* running
+    the simulations — worker count, cache location — not the simulated
+    system, so they are not part of :class:`SystemConfig` and never enter
+    a scenario's config digest.
+    """
+
+    #: Worker processes for multi-scenario runs (None = one per core).
+    jobs: int | None = None
+
+    #: Directory of the content-addressed result cache.
+    cache_dir: str = EXEC_CACHE_DIR
+
+    #: Times a task is re-queued after its worker process crashes.
+    retries: int = EXEC_RETRIES
+
+    def validate(self) -> None:
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+
+    def effective_jobs(self) -> int:
+        """The actual worker count (resolves None to the core count)."""
+        import os
+
+        return self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Aggregate configuration for a simulated adaptive DSM system."""

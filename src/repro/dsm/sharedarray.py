@@ -65,9 +65,23 @@ class SharedArray:
         return [(i0 * self.itemsize, i1 * self.itemsize)] if i1 > i0 else []
 
     def element_set(self, indices: Iterable[int]) -> List[Range]:
-        """Arbitrary flat element indices (irregular access, e.g. NBF)."""
-        ranges = [(i * self.itemsize, (i + 1) * self.itemsize) for i in indices]
-        return normalize(ranges)
+        """Arbitrary flat element indices (irregular access, e.g. NBF).
+
+        Vectorized: sort + dedupe the indices and coalesce consecutive
+        runs in numpy, instead of materializing one per-element range and
+        normalizing — NBF's partner lists hit this with thousands of
+        indices per access.  Output ranges are identical to
+        ``normalize([(i*s, (i+1)*s) for i in indices])``.
+        """
+        idx = np.unique(np.fromiter(indices, dtype=np.int64))
+        if idx.size == 0:
+            return []
+        # Run boundaries: positions where the next index is not prev+1.
+        breaks = np.flatnonzero(np.diff(idx) > 1)
+        starts = idx[np.concatenate(([0], breaks + 1))]
+        ends = idx[np.concatenate((breaks, [idx.size - 1]))] + 1
+        s = self.itemsize
+        return [(int(a) * s, int(b) * s) for a, b in zip(starts, ends)]
 
     def block(self, pid: int, nprocs: int) -> Tuple[int, int]:
         """The block row partition ``[lo, hi)`` of process ``pid``.

@@ -87,3 +87,8 @@ class NodeUnavailableError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid or inconsistent configuration parameters."""
+
+
+class ExecError(ReproError):
+    """The scenario-execution engine failed (bad job spec, a worker that
+    keeps crashing past its retry budget, or an unusable cache)."""

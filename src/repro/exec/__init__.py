@@ -1,0 +1,60 @@
+"""Parallel scenario-execution engine with content-addressed caching.
+
+The paper's evaluation is a grid of *independent* simulated runs —
+kernel × node count × adaptation schedule.  This package turns each cell
+into a schedulable task:
+
+* :mod:`~repro.exec.spec` — :class:`ScenarioSpec`, a picklable,
+  declarative run description with a canonical JSON form and a SHA-256
+  config digest;
+* :mod:`~repro.exec.result` — :class:`ScenarioResult`, the deterministic
+  per-scenario output (canonical JSON, bitwise-stable);
+* :mod:`~repro.exec.cache` — :class:`ResultCache`, one file per digest
+  under ``benchmarks/results/cache/`` salted with ``repro.__version__``;
+* :mod:`~repro.exec.pool` — :func:`run_specs`, the spawn-based worker
+  pool with per-task progress, crash retry, and spec-order merge.
+
+``repro sweep --jobs N`` is the CLI face; ``repro table1``, ``repro
+perfbench`` and ``repro recovery`` run on the same engine.
+"""
+
+from .cache import (
+    CACHE_SCHEMA,
+    CachedEntry,
+    CacheStats,
+    ResultCache,
+    code_version_salt,
+)
+from .pool import (
+    SweepOutcome,
+    TaskOutcome,
+    default_jobs,
+    run_spec,
+    run_specs,
+)
+from .result import RESULT_SCHEMA, ScenarioResult
+from .spec import (
+    SPEC_SCHEMA,
+    AdaptEvent,
+    ScenarioSpec,
+    spec_from_preset,
+)
+
+__all__ = [
+    "AdaptEvent",
+    "CACHE_SCHEMA",
+    "CachedEntry",
+    "CacheStats",
+    "RESULT_SCHEMA",
+    "ResultCache",
+    "SPEC_SCHEMA",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepOutcome",
+    "TaskOutcome",
+    "code_version_salt",
+    "default_jobs",
+    "run_spec",
+    "run_specs",
+    "spec_from_preset",
+]

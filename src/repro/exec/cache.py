@@ -1,0 +1,142 @@
+"""Content-addressed result cache keyed on spec digest + code version.
+
+One JSON file per scenario under ``benchmarks/results/cache/``, named by
+the spec's :meth:`~repro.exec.spec.ScenarioSpec.config_digest`.  Each
+entry embeds the digest, the canonical spec (for human inspection), the
+code-version salt (``repro.__version__``) and the serialized
+:class:`~repro.exec.result.ScenarioResult`.
+
+A lookup *hits* only when the file exists **and** its schema, digest and
+version salt all match the running code — anything else counts as an
+*invalidation* (stale version, corrupt file, digest collision with a
+changed layout) and reads as a miss, so warm caches survive innocuous
+restarts but never serve results produced by different code.  ``put``
+writes atomically (temp file + rename) so a crashed or parallel writer
+can never leave a half-entry behind; last writer wins, which is safe
+because any two writers of one digest computed the same result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..config import EXEC_CACHE_DIR
+from .result import RESULT_SCHEMA, ScenarioResult
+from .spec import ScenarioSpec
+
+#: Cache-entry schema; bump to invalidate every existing entry.
+CACHE_SCHEMA = "repro-exec-cache/1"
+
+#: Default cache location (gitignored; lives next to the bench reports).
+DEFAULT_CACHE_DIR = EXEC_CACHE_DIR
+
+
+def code_version_salt() -> str:
+    """The code-version component of the cache key."""
+    from .. import __version__
+
+    return __version__
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one engine run."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Entries found on disk but rejected (version/schema/digest mismatch
+    #: or unreadable JSON).
+    invalidations: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "stores": self.stores,
+        }
+
+
+@dataclass(frozen=True)
+class CachedEntry:
+    """A cache hit: the deterministic result plus execution metadata."""
+
+    result: ScenarioResult
+    #: Wall seconds of the run that produced the entry (machine/time
+    #: dependent — metadata, never part of the result's canonical JSON).
+    wall_seconds: float = 0.0
+
+
+class ResultCache:
+    """Content-addressed store of :class:`ScenarioResult` entries."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
+                 salt: Optional[str] = None):
+        self.root = Path(root)
+        self.salt = salt if salt is not None else code_version_salt()
+        self.stats = CacheStats()
+
+    def path(self, spec: ScenarioSpec) -> Path:
+        return self.root / f"{spec.config_digest()}.json"
+
+    def get(self, spec: ScenarioSpec) -> Optional[CachedEntry]:
+        """The cached entry, or None (miss / invalidated entry)."""
+        path = self.path(spec)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        if (
+            entry.get("schema") != CACHE_SCHEMA
+            or entry.get("version") != self.salt
+            or entry.get("digest") != spec.config_digest()
+            or entry.get("result", {}).get("schema") != RESULT_SCHEMA
+        ):
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return CachedEntry(
+            result=ScenarioResult.from_dict(entry["result"]),
+            wall_seconds=float(entry.get("meta", {}).get("wall_seconds", 0.0)),
+        )
+
+    def put(self, spec: ScenarioSpec, result: ScenarioResult,
+            wall_seconds: float = 0.0) -> Path:
+        """Store (atomically) and return the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(spec)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "version": self.salt,
+            "digest": spec.config_digest(),
+            "spec": spec.canonical_dict(),
+            "result": result.to_dict(),
+            "meta": {"wall_seconds": wall_seconds},
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True, separators=(",", ":"))
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path

@@ -1,0 +1,294 @@
+"""Spawn-based multiprocess scenario execution with deterministic merge.
+
+:func:`run_specs` is the engine's entry point: it takes an ordered list
+of :class:`~repro.exec.spec.ScenarioSpec`, answers what it can from the
+result cache, shards the misses across a spawn-based worker pool
+(``--jobs N``), streams per-task progress, retries a task once if its
+worker process dies, and merges everything back **in spec order** — so
+the output is bitwise-identical to running the same list serially
+(simulations are deterministic; see ``tests/exec/test_engine_e2e.py``).
+
+``jobs=1`` executes in the calling process with no pool at all: that path
+*is* the legacy serial execution, and is what the parallel path is tested
+against.  Workers are spawned (never forked) so each scenario runs in a
+pristine interpreter — no inherited simulator state, and identical
+behaviour on platforms where fork is unavailable or unsafe.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import EXEC_RETRIES, ExecParams
+from ..errors import ExecError
+from .cache import CacheStats, ResultCache
+from .result import ScenarioResult
+from .spec import ScenarioSpec
+
+#: Test-only fault injection: when set to a writable directory, a worker
+#: hard-exits the first time it sees each spec digest (a flag file marks
+#: "already crashed once"), exercising the crash-retry path end to end.
+CRASH_ONCE_ENV = "REPRO_EXEC_CRASH_ONCE"
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs`` is not given (one per core)."""
+    return ExecParams().effective_jobs()
+
+
+# ---------------------------------------------------------------------------
+# single-spec execution (runs in workers and on the jobs=1 path alike)
+# ---------------------------------------------------------------------------
+def run_spec(spec: ScenarioSpec, repeat: int = 1) -> Tuple[ScenarioResult, float]:
+    """Execute one spec to completion; returns (result, best wall seconds).
+
+    ``repeat`` reruns the simulation and keeps the best wall time (the
+    simulated outputs are identical across repeats by construction).
+    """
+    from ..bench.harness import run_experiment
+
+    cfg = spec.build_config()
+    runtime_kwargs = {}
+    if spec.checkpoint_interval is not None:
+        runtime_kwargs["checkpoint_interval"] = spec.checkpoint_interval
+    if spec.failure_detection or spec.has_crashes:
+        runtime_kwargs["failure_detection"] = True
+    install = (
+        spec.install_events if (spec.events or spec.fault_plan) else None
+    )
+    best_wall = float("inf")
+    best = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        res = run_experiment(
+            spec.build_app,
+            nprocs=spec.nprocs,
+            adaptive=spec.effective_adaptive,
+            extra_nodes=spec.extra_nodes,
+            cfg=cfg,
+            materialized=spec.materialized,
+            events=install,
+            runtime_kwargs=runtime_kwargs if spec.effective_adaptive else None,
+        )
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall, best = wall, res
+    return (
+        ScenarioResult.from_experiment(best, events=best.runtime.sim.events_executed),
+        best_wall,
+    )
+
+
+def _worker(payload: Tuple[int, ScenarioSpec, int]) -> Tuple[int, dict, float]:
+    """Pool worker: run one spec, return its index + serialized result."""
+    index, spec, repeat = payload
+    crash_dir = os.environ.get(CRASH_ONCE_ENV)
+    if crash_dir:
+        flag = os.path.join(crash_dir, f"{spec.config_digest()}.crashed")
+        if not os.path.exists(flag):
+            with open(flag, "w") as fh:
+                fh.write("crashed once\n")
+            os._exit(3)  # simulate a worker death, not a Python exception
+    result, wall = run_spec(spec, repeat=repeat)
+    return index, result.to_dict(), wall
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskOutcome:
+    """How one spec was satisfied (cache or execution)."""
+
+    index: int
+    spec: ScenarioSpec
+    result: ScenarioResult
+    #: Wall seconds of the execution (0.0 for cache hits); machine
+    #: dependent, deliberately *not* part of :class:`ScenarioResult`.
+    wall_seconds: float
+    cached: bool
+    #: Executions attempted (0 for hits, >1 after a worker-crash retry).
+    attempts: int
+
+
+@dataclass
+class SweepOutcome:
+    """Everything :func:`run_specs` produces, in spec order."""
+
+    outcomes: List[TaskOutcome]
+    cache_stats: CacheStats
+    jobs: int
+    executed: int
+    retried: int
+    wall_seconds: float = 0.0
+
+    @property
+    def results(self) -> List[ScenarioResult]:
+        return [o.result for o in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+
+ProgressFn = Callable[[TaskOutcome, int, int], None]
+
+
+def run_specs(
+    specs: Sequence[ScenarioSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    refresh: bool = False,
+    repeat: int = 1,
+    retries: int = EXEC_RETRIES,
+    progress: Optional[ProgressFn] = None,
+) -> SweepOutcome:
+    """Run every spec, answering from ``cache`` where possible.
+
+    Results come back in spec order regardless of completion order, and
+    are bitwise-identical to ``jobs=1`` serial execution.  ``refresh``
+    forces re-execution (and re-stores) even on a warm cache.
+    """
+    specs = list(specs)
+    jobs = jobs if jobs is not None else default_jobs()
+    if jobs < 1:
+        raise ExecError("jobs must be >= 1")
+    t_start = time.perf_counter()
+    total = len(specs)
+    outcomes: List[Optional[TaskOutcome]] = [None] * total
+    done = 0
+
+    def _finish(outcome: TaskOutcome) -> None:
+        nonlocal done
+        outcomes[outcome.index] = outcome
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total)
+
+    pending: List[Tuple[int, ScenarioSpec]] = []
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if (cache is not None and not refresh) else None
+        if hit is not None:
+            _finish(TaskOutcome(i, spec, hit.result, hit.wall_seconds,
+                                cached=True, attempts=0))
+        else:
+            pending.append((i, spec))
+
+    retried = 0
+    if pending:
+        if jobs == 1:
+            for i, spec in pending:
+                result, wall = run_spec(spec, repeat=repeat)
+                if cache is not None:
+                    cache.put(spec, result, wall_seconds=wall)
+                _finish(TaskOutcome(i, spec, result, wall, cached=False,
+                                    attempts=1))
+        else:
+            completed, retried = _run_parallel(
+                pending, jobs=jobs, repeat=repeat, retries=retries,
+            )
+            for i, spec in pending:
+                result, wall, attempts = completed[i]
+                if cache is not None:
+                    cache.put(spec, result, wall_seconds=wall)
+                _finish(TaskOutcome(i, spec, result, wall, cached=False,
+                                    attempts=attempts))
+
+    return SweepOutcome(
+        outcomes=outcomes,  # type: ignore[arg-type]  (all filled above)
+        cache_stats=cache.stats if cache is not None else CacheStats(),
+        jobs=jobs,
+        executed=len(pending),
+        retried=retried,
+        wall_seconds=time.perf_counter() - t_start,
+    )
+
+
+def _child_main(conn, payload: Tuple[int, ScenarioSpec, int]) -> None:
+    """Entry point of one worker process (spawned, never forked)."""
+    import traceback
+
+    try:
+        out = _worker(payload)
+    except BaseException:
+        conn.send(("err", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", out))
+    conn.close()
+
+
+def _run_parallel(
+    tasks: Sequence[Tuple[int, ScenarioSpec]],
+    jobs: int,
+    repeat: int,
+    retries: int,
+) -> Tuple[Dict[int, Tuple[ScenarioResult, float, int]], int]:
+    """Execute tasks with one spawned process per task, ``jobs`` at a time.
+
+    A dedicated process per task makes crash attribution exact: a worker
+    that dies without reporting (killed, segfault, ``os._exit``) fails
+    only *its own* task, which is requeued until its ``retries`` budget
+    runs out; the other in-flight tasks are untouched.  A worker that
+    raises an ordinary Python exception is not a crash — the exception is
+    re-raised here, wrapped in :class:`ExecError`.
+    """
+    import multiprocessing as mp
+    from collections import deque
+    from multiprocessing.connection import wait as conn_wait
+
+    ctx = mp.get_context("spawn")
+    completed: Dict[int, Tuple[ScenarioResult, float, int]] = {}
+    retried = 0
+    queue = deque((i, spec, 1) for i, spec in tasks)
+    running: Dict[object, tuple] = {}
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                i, spec, attempt = queue.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main, args=(child_conn, (i, spec, repeat)),
+                )
+                proc.start()
+                child_conn.close()
+                running[proc.sentinel] = (proc, parent_conn, i, spec, attempt)
+            for sentinel in conn_wait(list(running)):
+                proc, conn, i, spec, attempt = running.pop(sentinel)
+                message = None
+                try:
+                    if conn.poll():
+                        message = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                proc.join()
+                conn.close()
+                if message is not None and message[0] == "ok":
+                    index, result_dict, wall = message[1]
+                    completed[index] = (
+                        ScenarioResult.from_dict(result_dict), wall, attempt,
+                    )
+                elif message is not None and message[0] == "err":
+                    raise ExecError(
+                        f"scenario {spec.display_name} failed in its worker:\n"
+                        f"{message[1]}"
+                    )
+                else:  # died without reporting: a genuine worker crash
+                    if attempt > retries:
+                        raise ExecError(
+                            f"scenario {spec.display_name} "
+                            f"(digest {spec.config_digest()[:12]}) crashed its "
+                            f"worker {attempt} time(s) "
+                            f"(last exit code {proc.exitcode}); giving up"
+                        )
+                    retried += 1
+                    queue.append((i, spec, attempt + 1))
+    finally:
+        for proc, conn, *_ in running.values():
+            proc.terminate()
+            proc.join()
+            conn.close()
+    return completed, retried

@@ -102,9 +102,11 @@ class TestMeasurement:
         assert micro_plan_lookup(2_000) > 0
 
     def test_run_scenario_fields_consistent(self):
-        from repro.bench.calibrate import make_jacobi
+        from repro.exec import ScenarioSpec
 
-        entry = run_scenario(PerfScenario("tiny", lambda: make_jacobi(48, 3), 4))
+        spec = ScenarioSpec(kernel="jacobi", params={"n": 48, "iterations": 3},
+                            nprocs=4, calibrated=True)
+        entry = run_scenario(PerfScenario("tiny", spec))
         for key in (
             "wall_seconds", "sim_seconds", "events", "events_per_sec",
             "sim_per_wall", "messages", "pages", "diffs",

@@ -1,0 +1,55 @@
+"""The PR's wall-clock acceptance gates (need real cores / a warm disk).
+
+The ``--jobs 4`` speedup needs at least 4 physical cores to mean
+anything — on smaller machines (like 1-core CI sandboxes) process spawn
+overhead dominates and the test auto-skips.  The warm-cache gate has no
+core requirement and always runs.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench.perf import run_parallel_check
+from repro.exec import ResultCache, run_specs
+
+from .test_engine_e2e import small_specs
+
+CORES = os.cpu_count() or 1
+
+
+@pytest.mark.skipif(CORES < 4, reason=f"needs >= 4 cores, have {CORES}")
+def test_jobs4_speedup_on_8_scenarios():
+    """Acceptance: 8 scenarios with --jobs 4 run >= 2.5x faster than serial
+    on a 4-core runner, with bitwise-identical merged results."""
+    check = run_parallel_check(n_scenarios=8, jobs=4)
+    assert check["identical"], "parallel results diverged from serial"
+    assert check["speedup"] >= 2.5, (
+        f"8 scenarios / 4 jobs: {check['speedup']:.2f}x "
+        f"(serial {check['serial_wall_seconds']:.2f}s, "
+        f"parallel {check['parallel_wall_seconds']:.2f}s)"
+    )
+
+
+def test_warm_cache_is_10x_faster_and_runs_nothing(tmp_path):
+    """Acceptance: a warm-cache rerun executes zero scenarios and beats the
+    cold run by >= 10x wall clock."""
+    specs = small_specs(4, n=96, iterations=6)
+
+    t0 = time.perf_counter()
+    cold = run_specs(specs, jobs=1, cache=ResultCache(root=tmp_path))
+    cold_wall = time.perf_counter() - t0
+    assert cold.executed == len(specs)
+
+    t0 = time.perf_counter()
+    warm = run_specs(specs, jobs=1, cache=ResultCache(root=tmp_path))
+    warm_wall = time.perf_counter() - t0
+    assert warm.executed == 0
+    assert warm.cache_hits == len(specs)
+    assert cold_wall / warm_wall >= 10.0, (
+        f"warm cache only {cold_wall / warm_wall:.1f}x faster "
+        f"(cold {cold_wall:.3f}s, warm {warm_wall:.3f}s)"
+    )
+    assert ([r.to_json() for r in cold.results]
+            == [r.to_json() for r in warm.results])

@@ -1,0 +1,119 @@
+"""ScenarioSpec: canonical JSON, config digests, validation."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import AdaptEvent, ScenarioSpec, spec_from_preset
+
+
+def base_spec(**kw):
+    kw.setdefault("kernel", "jacobi")
+    kw.setdefault("params", {"n": 48, "iterations": 3})
+    return ScenarioSpec(**kw)
+
+
+class TestCanonicalForm:
+    def test_digest_is_stable(self):
+        a, b = base_spec(), base_spec()
+        assert a.config_digest() == b.config_digest()
+        assert len(a.config_digest()) == 64  # sha256 hex
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = base_spec().canonical_json()
+        assert ": " not in text and ", " not in text
+        parsed = json.loads(text)
+        assert list(parsed) == sorted(parsed)
+
+    def test_param_order_does_not_matter(self):
+        a = base_spec(params={"n": 48, "iterations": 3})
+        b = base_spec(params={"iterations": 3, "n": 48})
+        assert a.config_digest() == b.config_digest()
+
+    def test_label_excluded_from_digest(self):
+        assert (base_spec(label="x").config_digest()
+                == base_spec(label="y").config_digest())
+
+    @pytest.mark.parametrize("field,value", [
+        ("kernel", "gauss"),
+        ("params", {"n": 49, "iterations": 3}),
+        ("params", {"n": 48, "iterations": 4}),
+        ("nprocs", 8),
+        ("calibrated", False),
+        ("adaptive", True),
+        ("materialized", True),
+        ("extra_nodes", 2),
+        ("events", (AdaptEvent("leave", 0.5),)),
+        ("fault_plan", "0.9 crash 1"),
+        ("checkpoint_interval", 0.1),
+        ("failure_detection", True),
+        ("seed", 7),
+        ("perf", {"plan_cache": False}),
+    ])
+    def test_every_digest_relevant_field_changes_the_digest(self, field, value):
+        changed = (base_spec(kernel="gauss", params={"n": 48, "iterations": 3})
+                   if field == "kernel" else base_spec(**{field: value}))
+        assert changed.config_digest() != base_spec().config_digest()
+
+    def test_specs_pickle_roundtrip(self):
+        spec = base_spec(events=(AdaptEvent("crash", 1.0, node=2),),
+                         perf={"plan_cache": False}, seed=3)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.config_digest() == spec.config_digest()
+
+
+class TestValidation:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(kernel="sor")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            base_spec(params={"n": 48, "rows": 8})
+
+    def test_bad_nprocs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            base_spec(nprocs=0)
+
+    def test_bad_event_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptEvent("explode", 1.0)
+
+    def test_negative_event_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptEvent("leave", -1.0)
+
+
+class TestDerivedProperties:
+    def test_effective_adaptive_implied_by_events(self):
+        assert not base_spec().effective_adaptive
+        assert base_spec(events=(AdaptEvent("leave", 1.0),)).effective_adaptive
+        assert base_spec(checkpoint_interval=0.1).effective_adaptive
+        assert base_spec(fault_plan="0.9 crash 1").effective_adaptive
+
+    def test_has_crashes_from_events_and_plans(self):
+        assert not base_spec(events=(AdaptEvent("leave", 1.0),)).has_crashes
+        assert base_spec(events=(AdaptEvent("crash", 1.0),)).has_crashes
+        assert base_spec(fault_plan="0.9 crash 1").has_crashes
+
+    def test_display_name(self):
+        assert base_spec().display_name == "jacobi-4"
+        assert base_spec(label="warm").display_name == "warm"
+
+
+class TestPresets:
+    def test_preset_resolves_explicit_params(self):
+        spec = spec_from_preset("tiny", "jacobi", 4)
+        assert set(spec.params) == {"n", "iterations"}
+        assert all(isinstance(v, int) for v in spec.params.values())
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_preset("huge", "jacobi", 4)
+
+    def test_gauss_iterations_resolved_not_none(self):
+        spec = spec_from_preset("bench", "gauss", 8)
+        assert spec.params["iterations"] is not None

@@ -1,0 +1,80 @@
+"""Plan cache vs. crash recovery: the hot-path optimisation is invisible.
+
+The access-plan cache (PR 2) memoizes page/range resolution on the hot
+path.  Crash recovery rebuilds the team and restores shared state through
+:func:`~repro.core.checkpoint.restore_checkpoint_live`, which replaces
+page contents and ownership under the cache's feet — so this is exactly
+where a stale plan would surface.  The acceptance bar: a run with the
+plan cache enabled must be *bitwise identical* (final data, simulated
+runtime, traffic, recovery records) to the same run with the cache off,
+with and without a mid-run crash.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import PerfParams, SystemConfig
+
+from ..core.test_checkpoint import counter_program
+from ..helpers import build_adaptive
+
+N_ITER = 20
+CRASH_AT = 0.9
+
+
+def _cfg(plan_cache: bool) -> SystemConfig:
+    cfg = SystemConfig()
+    return dataclasses.replace(
+        cfg, perf=dataclasses.replace(cfg.perf, plan_cache=plan_cache)
+    )
+
+
+def _run(plan_cache: bool, crash: bool):
+    """One checkpointed adaptive run; returns (final grid, RunResult)."""
+    sim, rt, pool = build_adaptive(
+        nprocs=3, extra_nodes=2, cfg=_cfg(plan_cache),
+        checkpoint_interval=0.1, failure_detection=True,
+    )
+    final = {}
+    prog, *_ = counter_program(rt, n_iter=N_ITER, final=final)
+    if crash:
+        victim = rt.team.node_of(1)
+        sim.schedule(CRASH_AT, lambda: rt.inject_crash(victim))
+    res = rt.run(prog)
+    return final["grid"], res
+
+
+class TestPlanCacheRecoveryIdentity:
+    @pytest.mark.parametrize("crash", [False, True],
+                             ids=["fault-free", "crash"])
+    def test_plan_cache_bitwise_identical(self, crash):
+        grid_on, res_on = _run(plan_cache=True, crash=crash)
+        grid_off, res_off = _run(plan_cache=False, crash=crash)
+
+        np.testing.assert_array_equal(grid_on, grid_off)
+        assert res_on.runtime_seconds == res_off.runtime_seconds
+        assert res_on.traffic.messages == res_off.traffic.messages
+        assert res_on.traffic.bytes == res_off.traffic.bytes
+        assert res_on.traffic.pages == res_off.traffic.pages
+        assert res_on.traffic.diffs == res_off.traffic.diffs
+        assert len(res_on.recoveries) == len(res_off.recoveries)
+
+    def test_crash_recovery_records_identical(self):
+        _, res_on = _run(plan_cache=True, crash=True)
+        _, res_off = _run(plan_cache=False, crash=True)
+        assert len(res_on.recoveries) == 1
+        for a, b in zip(res_on.recoveries, res_off.recoveries):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_crash_run_recovers_from_live_restore(self):
+        """The crash run actually exercised restore_checkpoint_live: a
+        checkpoint predates the crash, so it was a warm restore."""
+        grid, res = _run(plan_cache=True, crash=True)
+        rec = res.recoveries[0]
+        assert rec.checkpoint_time is not None
+        assert rec.restore_seconds > 0.0
+        # and the recovered run still matches a fault-free one bitwise
+        fault_free, _ = _run(plan_cache=True, crash=False)
+        np.testing.assert_array_equal(grid, fault_free)

@@ -73,3 +73,63 @@ class TestCommands:
 
     def test_run_unknown_app(self, capsys):
         assert main(["run", "linpack"]) == 2
+
+
+class TestSweep:
+    def _sweep(self, tmp_path, *extra):
+        return main([
+            "sweep", "--apps", "jacobi", "--nodes", "2,4", "--preset", "tiny",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"), *extra,
+        ])
+
+    def test_sweep_runs_grid_and_caches(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        cold = capsys.readouterr()
+        assert "jacobi" in cold.out
+        assert "2 executed" in cold.err
+
+        assert self._sweep(tmp_path) == 0
+        warm = capsys.readouterr()
+        assert "2 from cache, 0 executed" in warm.err
+        # the simulated columns are identical cold vs warm; only the
+        # "via" column differs (wall seconds vs "cache")
+        strip_via = lambda text: [line.rsplit(None, 1)[0]
+                                  for line in text.splitlines() if line]
+        assert strip_via(cold.out) == strip_via(warm.out)
+
+    def test_sweep_no_cache_always_executes(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert self._sweep(tmp_path, "--no-cache") == 0
+        assert "0 from cache, 2 executed" in capsys.readouterr().err
+
+    def test_sweep_refresh_re_executes(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert self._sweep(tmp_path, "--refresh") == 0
+        assert "0 from cache, 2 executed" in capsys.readouterr().err
+
+    def test_sweep_json_payload(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "sweep.json"
+        assert self._sweep(tmp_path, "--json", str(out_path)) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-sweep/1"
+        assert len(payload["scenarios"]) == 2
+        for scenario in payload["scenarios"]:
+            assert len(scenario["digest"]) == 64
+            assert scenario["result"]["runtime_seconds"] > 0
+
+    def test_sweep_rejects_unknown_app(self, tmp_path):
+        assert main(["sweep", "--apps", "linpack",
+                     "--cache-dir", str(tmp_path)]) == 2
+
+    def test_sweep_rejects_bad_nodes(self, tmp_path):
+        assert main(["sweep", "--apps", "jacobi", "--nodes", "four",
+                     "--cache-dir", str(tmp_path)]) == 2
+
+    def test_table1_accepts_engine_flags(self, tmp_path, capsys):
+        rc = main(["table1", "--jobs", "1", "--no-cache"])
+        assert rc == 0
+        assert "Table 1" in capsys.readouterr().out
