@@ -39,7 +39,7 @@ def table1_grid():
     Session-scoped: Table 1, the §5.4 benches, and the speedup checks all
     read from this grid, so the expensive sweep runs once.
 
-    The grid runs through the ``repro.exec`` engine: set
+    The grid runs through :func:`repro.api.sweep`: set
     ``REPRO_BENCH_JOBS`` to shard the 24 cells across worker processes
     (the merged results are bitwise-identical to serial execution), and
     ``REPRO_BENCH_NO_CACHE=1`` to bypass the content-addressed result
@@ -47,8 +47,9 @@ def table1_grid():
     """
     import os
 
+    from repro.api import spec_from_preset, sweep
     from repro.apps import APP_NAMES
-    from repro.exec import ResultCache, run_specs, spec_from_preset
+    from repro.exec import ResultCache
 
     cells = [
         (app_name, nprocs, adaptive)
@@ -67,7 +68,7 @@ def table1_grid():
         None if os.environ.get("REPRO_BENCH_NO_CACHE")
         else ResultCache(root=pathlib.Path(__file__).parent / "results" / "cache")
     )
-    outcome = run_specs(specs, jobs=jobs, cache=cache)
+    outcome = sweep(specs, jobs=jobs, cache=cache)
     return dict(zip(cells, outcome.results))
 
 

@@ -32,8 +32,19 @@ from .simcore import Simulator
 
 __version__ = "1.1.0"
 
+
+def __getattr__(name):
+    # Lazy: repro.api pulls in the exec engine + obs layer; load it only
+    # when asked for so `import repro` stays light.
+    if name == "api":
+        from . import api
+
+        return api
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AdaptiveRuntime",
+    "api",
     "NodePool",
     "OmpProgram",
     "PAPER_CONFIG",

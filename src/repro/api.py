@@ -1,0 +1,161 @@
+"""The public facade: one way in for every consumer.
+
+Every driver — the CLI, the perf/recovery benches, the pytest benchmark
+grids, user scripts — builds a :class:`ScenarioSpec` and calls
+:func:`run` (one scenario) or :func:`sweep` (many, parallel + cached).
+:class:`RunReport` bundles everything a run produces: the deterministic
+:class:`~repro.exec.result.ScenarioResult` payload, the live
+:class:`~repro.bench.harness.ExperimentResult` (runtime, app, records),
+the per-phase :class:`~repro.obs.CostBreakdown`, and export handles for
+the Chrome trace / metrics files.
+
+The pre-facade per-module entrypoints (``repro.bench.run_experiment``,
+``repro.exec.run_spec`` re-exported at package level) still work one
+release behind a ``DeprecationWarning``; see ``docs/PROTOCOL.md`` §8.
+
+Typical use::
+
+    from repro.api import AdaptEvent, ObsConfig, run, spec_from_preset
+
+    spec = spec_from_preset("tiny", "jacobi", 8).replaced(
+        adaptive=True, events=(AdaptEvent("leave", 0.5, 3),)
+    )
+    report = run(spec, obs=ObsConfig(trace_path="trace.json"))
+    print(report.cost_breakdown.adaptation_seconds)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .exec.pool import SweepOutcome, execute_spec, run_specs
+from .exec.result import ScenarioResult
+from .exec.spec import AdaptEvent, ScenarioSpec, spec_from_preset
+from .obs import CostBreakdown, ObsConfig, Registry
+from .obs.export import write_chrome_trace, write_metrics
+
+__all__ = [
+    "AdaptEvent",
+    "ObsConfig",
+    "RunReport",
+    "ScenarioSpec",
+    "SweepOutcome",
+    "run",
+    "run_many",
+    "spec_from_preset",
+    "sweep",
+]
+
+
+@dataclass
+class RunReport:
+    """Everything one :func:`run` call produced."""
+
+    #: The spec that ran.
+    spec: ScenarioSpec
+    #: Deterministic simulated outputs (cache/serialization form).
+    result: ScenarioResult
+    #: The live experiment: ``.runtime``, ``.app``, adapt/migration
+    #: records, the underlying :class:`~repro.dsm.runtime.RunResult`.
+    experiment: Any = field(repr=False, default=None)
+    #: Span/counter registry (None when the run was unobserved).
+    registry: Optional[Registry] = field(repr=False, default=None)
+    #: Per-phase adaptation-cost decomposition (None when unobserved).
+    cost_breakdown: Optional[CostBreakdown] = None
+    #: Wall-clock seconds of the simulation.
+    wall_seconds: float = 0.0
+
+    # -- export handles ---------------------------------------------------
+    def _require_registry(self) -> Registry:
+        if self.registry is None:
+            raise ValueError(
+                "this run was not observed; pass obs=ObsConfig() to run()"
+            )
+        return self.registry
+
+    def _meta(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.spec.display_name,
+            "digest": self.spec.config_digest(),
+        }
+
+    def write_trace(self, path: str) -> str:
+        """Write the Chrome/Perfetto ``trace.json``; returns ``path``."""
+        write_chrome_trace(self._require_registry(), path, meta=self._meta())
+        return path
+
+    def write_metrics(self, path: str) -> str:
+        """Write the flat ``metrics.json``; returns ``path``."""
+        write_metrics(
+            self._require_registry(),
+            path,
+            breakdown=self.cost_breakdown,
+            result=self.result.to_dict(),
+        )
+        return path
+
+
+def run(
+    spec: ScenarioSpec,
+    *,
+    obs: Optional[ObsConfig] = None,
+    repeat: int = 1,
+) -> RunReport:
+    """Execute one scenario; the single public run entry point.
+
+    ``obs=None`` (and ``ObsConfig(enabled=False)``) runs uninstrumented —
+    bitwise-identical to the pre-observability engine.  With observability
+    on, ``repeat`` must stay 1 (repeats would pile spans from every rerun
+    into one registry).
+    """
+    registry: Optional[Registry] = None
+    if obs is not None and obs.enabled:
+        registry = obs.make_registry()
+    experiment, wall = execute_spec(spec, repeat=repeat, obs=registry)
+    result = ScenarioResult.from_experiment(
+        experiment, events=experiment.runtime.sim.events_executed
+    )
+    report = RunReport(
+        spec=spec,
+        result=result,
+        experiment=experiment,
+        registry=registry,
+        cost_breakdown=experiment.cost_breakdown,
+        wall_seconds=wall,
+    )
+    if obs is not None and registry is not None:
+        if obs.trace_path:
+            report.write_trace(obs.trace_path)
+        if obs.metrics_path:
+            report.write_metrics(obs.metrics_path)
+    return report
+
+
+def sweep(
+    specs: Sequence[ScenarioSpec],
+    *,
+    jobs: Optional[int] = None,
+    cache: Any = None,
+    refresh: bool = False,
+    repeat: int = 1,
+    progress: Any = None,
+) -> SweepOutcome:
+    """Run many scenarios through the parallel, cached engine.
+
+    The facade name for :func:`repro.exec.pool.run_specs` — results come
+    back in spec order, bitwise-identical to serial execution.
+    """
+    return run_specs(
+        specs,
+        jobs=jobs,
+        cache=cache,
+        refresh=refresh,
+        repeat=repeat,
+        progress=progress,
+    )
+
+
+def run_many(specs: Sequence[ScenarioSpec], **kwargs: Any) -> List[ScenarioResult]:
+    """Convenience: :func:`sweep`, returning just the results in order."""
+    return sweep(specs, **kwargs).results

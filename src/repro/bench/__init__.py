@@ -29,7 +29,7 @@ from .calibrate import (
     make_jacobi,
     make_nbf,
 )
-from .harness import ExperimentResult, nonadaptive_times, run_experiment
+from .harness import ExperimentResult, nonadaptive_times
 from .perf import (
     PerfScenario,
     calibrate_spin,
@@ -54,6 +54,30 @@ from .paper_data import (
     speedup,
 )
 from .reporting import format_table, ratio_note
+
+
+def __getattr__(name):
+    """Deprecated package-level entrypoints (PEP 562).
+
+    ``run_experiment`` predates the :mod:`repro.api` facade; new code
+    should build a :class:`~repro.exec.spec.ScenarioSpec` and call
+    :func:`repro.api.run` (see ``docs/PROTOCOL.md`` §8).  The name keeps
+    working one release behind a :class:`DeprecationWarning`.
+    """
+    if name == "run_experiment":
+        import warnings
+
+        warnings.warn(
+            "repro.bench.run_experiment is deprecated; use repro.api.run "
+            "with a ScenarioSpec (docs/PROTOCOL.md §8)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .harness import run_experiment
+
+        return run_experiment
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ADAPTATION_POINT_SPACING",

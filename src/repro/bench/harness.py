@@ -41,6 +41,10 @@ class ExperimentResult:
     heartbeats_sent: int = 0
     heartbeat_misses: int = 0
     false_suspicions: int = 0
+    #: The underlying :class:`~repro.dsm.runtime.RunResult`.
+    run_result: Any = field(repr=False, default=None)
+    #: :class:`~repro.obs.CostBreakdown` when the run was observed.
+    cost_breakdown: Any = None
 
     @property
     def pages(self) -> int:
@@ -69,14 +73,18 @@ def run_experiment(
     events: Optional[Callable[[Any], Any]] = None,
     trace: bool = False,
     runtime_kwargs: Optional[Dict[str, Any]] = None,
+    obs: Optional[Any] = None,
 ) -> ExperimentResult:
     """Run one kernel to completion under a fresh simulated NOW.
 
     ``events`` is called with the runtime before the run starts; use it to
     install an :class:`~repro.cluster.EventScript`, an alternator, or to
     schedule ``submit_join``/``submit_leave`` calls directly.
+
+    ``obs`` is a :class:`~repro.obs.Registry` to record spans/counters
+    into (None runs uninstrumented — the pre-observability behaviour).
     """
-    sim = Simulator(trace=trace)
+    sim = Simulator(trace=trace, obs=obs)
     cfg = cfg or SystemConfig()
     switch = Switch(sim, cfg.network)
     pool = NodePool(sim, switch)
@@ -109,11 +117,13 @@ def run_experiment(
         app=app,
         runtime=runtime,
         recoveries=list(result.recoveries),
-        dropped=result.dropped,
-        retransmissions=result.retransmissions,
-        heartbeats_sent=result.heartbeats_sent,
-        heartbeat_misses=result.heartbeat_misses,
-        false_suspicions=result.false_suspicions,
+        dropped=result.network.dropped,
+        retransmissions=result.network.retransmissions,
+        heartbeats_sent=result.detector.heartbeats_sent,
+        heartbeat_misses=result.detector.heartbeat_misses,
+        false_suspicions=result.detector.false_suspicions,
+        run_result=result,
+        cost_breakdown=result.cost_breakdown,
     )
 
 

@@ -159,7 +159,7 @@ def scenarios(quick: bool = False, paper: bool = False) -> List[PerfScenario]:
     smoke runs; ``paper`` adds the full Table-1 Jacobi configuration
     (minutes of wall time).
     """
-    from ..exec import ScenarioSpec, spec_from_preset
+    from ..exec.spec import ScenarioSpec, spec_from_preset
 
     if quick:
         out = [
@@ -210,10 +210,10 @@ def run_scenario(scenario: PerfScenario, repeat: int = 1) -> Dict[str, float]:
     The simulated outputs (runtime, traffic) are identical across repeats
     by construction — only the wall clock varies.
     """
-    from ..exec import run_spec
+    from ..api import run as api_run
 
-    result, wall = run_spec(scenario.spec, repeat=repeat)
-    return _entry_from_result(result, wall)
+    report = api_run(scenario.spec, repeat=repeat)
+    return _entry_from_result(report.result, report.wall_seconds)
 
 
 # ---------------------------------------------------------------------------
@@ -231,7 +231,9 @@ def run_parallel_check(
     and again with the worker pool, and reports both walls plus the
     bitwise-identity verdict of the two result lists.
     """
-    from ..exec import ScenarioSpec, default_jobs, run_specs
+    from ..api import sweep
+    from ..exec.pool import default_jobs
+    from ..exec.spec import ScenarioSpec
 
     jobs = jobs if jobs is not None else default_jobs()
     specs = [
@@ -241,8 +243,8 @@ def run_parallel_check(
         )
         for k in range(n_scenarios)
     ]
-    serial = run_specs(specs, jobs=1)
-    parallel = run_specs(specs, jobs=jobs)
+    serial = sweep(specs, jobs=1)
+    parallel = sweep(specs, jobs=jobs)
     identical = (
         [a.to_json() for a in serial.results]
         == [b.to_json() for b in parallel.results]
@@ -279,7 +281,7 @@ def run_perfbench(
     measured entries — their wall numbers come from the run that stored
     them and are marked ``"cached": true``.
     """
-    from ..exec import run_specs
+    from ..api import sweep
 
     spin = calibrate_spin()
     micro = {
@@ -288,7 +290,7 @@ def run_perfbench(
         "plan_lookup_per_sec": micro_plan_lookup(),
     }
     scen = scenarios(quick=quick, paper=paper)
-    outcome = run_specs(
+    outcome = sweep(
         [s.spec for s in scen], jobs=jobs, cache=cache, refresh=refresh,
         repeat=repeat,
     )

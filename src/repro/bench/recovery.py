@@ -109,14 +109,15 @@ def recovery_sweep(
             intervals, nprocs, crash_fraction, cfg, n, iterations, verify,
         )
 
-    from ..exec import AdaptEvent, ScenarioSpec, run_specs
+    from ..api import sweep
+    from ..exec.spec import AdaptEvent, ScenarioSpec
 
     base_spec = ScenarioSpec(
         kernel="jacobi-resumable", params={"n": n, "iterations": iterations},
         nprocs=nprocs, calibrated=False, adaptive=True, materialized=True,
         extra_nodes=1, label="recovery-baseline",
     )
-    baseline = run_specs(
+    baseline = sweep(
         [base_spec], jobs=1, cache=cache, refresh=refresh,
     ).results[0]
     crash_at = baseline.runtime_seconds * crash_fraction
@@ -130,7 +131,7 @@ def recovery_sweep(
         )
         for interval in intervals
     ]
-    outcome = run_specs(specs, jobs=jobs, cache=cache, refresh=refresh)
+    outcome = sweep(specs, jobs=jobs, cache=cache, refresh=refresh)
 
     points: List[RecoveryPoint] = []
     for interval, res in zip(intervals, outcome.results):

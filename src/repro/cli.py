@@ -8,9 +8,14 @@
         --event leave:0.5:3 --event join:1.5:3
     python -m repro table1                    # regenerate Table 1
     python -m repro sweep --jobs 4            # app x nodes grid, parallel + cached
+    python -m repro report jacobi --nprocs 8 \
+        --event leave:0.5:3 --trace trace.json  # adaptation-cost breakdown
     python -m repro micro                     # §5.1 micro-benchmarks
     python -m repro fig3                      # Figure 3 analytic fractions
     python -m repro migration                 # §5.3 migration cost model
+
+Every simulation the CLI starts goes through :mod:`repro.api` — the same
+facade user scripts should call.
 """
 
 from __future__ import annotations
@@ -20,16 +25,9 @@ import sys
 from typing import List, Optional
 
 from .apps import APP_NAMES, BENCH, PAPER, TINY
-from .bench import (
-    FIGURE3_MOVED,
-    MICRO,
-    MIGRATION_COST,
-    TABLE1,
-    calibrated_rates,
-    format_table,
-    run_experiment,
-    speedup,
-)
+from .bench.calibrate import calibrated_rates
+from .bench.paper_data import FIGURE3_MOVED, MICRO, MIGRATION_COST, TABLE1
+from .bench.reporting import format_table
 from .core import CompactShift, SwapLast, moved_fraction
 from .errors import ReproError
 
@@ -80,64 +78,55 @@ def cmd_calibrate(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
+def _spec_from_args(args):
+    """Build the :class:`~repro.api.ScenarioSpec` the run/report commands
+    describe.  Prints the problem and returns None on bad input."""
+    from .api import AdaptEvent, spec_from_preset
+
     if args.app not in APP_NAMES:
         print(f"unknown app {args.app!r}; one of {', '.join(APP_NAMES)}",
               file=sys.stderr)
-        return 2
-    preset = PRESETS[args.preset]
-    factory = preset[args.app].make
-
-    plan = None
+        return None
+    fault_plan = None
     if args.faults:
         from .errors import FaultError
-        from .faults import parse_plan_file
+        from .faults import parse_plan
 
         try:
-            plan = parse_plan_file(args.faults)
+            with open(args.faults) as fh:
+                fault_plan = fh.read()
+            parse_plan(fault_plan)
         except (FaultError, OSError) as err:
             print(f"bad fault plan {args.faults!r}: {err}", file=sys.stderr)
-            return 2
-
-    has_crashes = plan is not None or any(
-        action == "crash" for action, _, _ in args.event or []
+            return None
+    events = tuple(
+        AdaptEvent(action, time, node,
+                   grace=args.grace if action == "leave" else None)
+        for action, time, node in args.event or []
     )
-    adaptive = (
-        args.adaptive or bool(args.event) or plan is not None
-        or args.checkpoint_interval is not None
-    )
-    runtime_kwargs = {}
-    if args.checkpoint_interval is not None:
-        runtime_kwargs["checkpoint_interval"] = args.checkpoint_interval
-    if args.failure_detection or has_crashes:
-        runtime_kwargs["failure_detection"] = True
-
-    def install(rt):
-        default_leave = rt.team.nprocs - 1
-        for action, time, node in args.event or []:
-            if action == "leave":
-                node_id = node if node is not None else default_leave
-                rt.sim.at(time, lambda n=node_id: rt.submit_leave(n, grace=args.grace))
-            elif action == "crash":
-                node_id = node if node is not None else default_leave
-                rt.sim.at(time, lambda n=node_id: rt.inject_crash(n))
-            else:
-                node_id = node if node is not None else rt.team.nprocs
-                rt.sim.at(time, lambda n=node_id: rt.submit_join(n))
-        if plan is not None:
-            from .faults import FaultInjector
-
-            FaultInjector(rt, plan).install()
-
-    res = run_experiment(
-        factory,
-        nprocs=args.nprocs,
-        adaptive=adaptive,
-        extra_nodes=args.extra_nodes,
+    return spec_from_preset(
+        args.preset, args.app, args.nprocs,
+        calibrated=False,  # the run command uses the preset's stock rates
+        adaptive=args.adaptive,
         materialized=args.materialized,
-        events=install if (args.event or plan is not None) else None,
-        runtime_kwargs=runtime_kwargs if adaptive else None,
+        extra_nodes=args.extra_nodes,
+        events=events,
+        fault_plan=fault_plan,
+        checkpoint_interval=args.checkpoint_interval,
+        failure_detection=args.failure_detection,
+        label=f"{args.app}-{args.nprocs}",
     )
+
+
+def cmd_run(args) -> int:
+    from .api import run as api_run
+
+    spec = _spec_from_args(args)
+    if spec is None:
+        return 2
+    report = api_run(spec)
+    res = report.experiment
+    detection = spec.failure_detection or spec.has_crashes
     rows = [
         ["simulated runtime (s)", f"{res.runtime_seconds:.3f}"],
         ["page fetches", res.pages],
@@ -150,7 +139,7 @@ def cmd_run(args) -> int:
     if res.dropped or res.retransmissions:
         rows.append(["messages dropped", res.dropped])
         rows.append(["retransmissions", res.retransmissions])
-    if runtime_kwargs.get("failure_detection"):
+    if detection:
         rows.append(["heartbeats sent", res.heartbeats_sent])
         rows.append(["heartbeat misses", res.heartbeat_misses])
         rows.append(["false suspicions", res.false_suspicions])
@@ -170,14 +159,108 @@ def cmd_run(args) -> int:
               f"restore={rec.restore_seconds:.3f}s "
               f"lost={rec.lost_work_seconds:.3f}s from {ckpt}")
     if args.materialized:
-        try:
-            ok = res.app.verify(rtol=1e-7, atol=1e-9)
+        ok = report.result.verified
+        if ok is None:
+            print("  verification unavailable")
+        else:
             print(f"  verification vs sequential reference: {'OK' if ok else 'MISMATCH'}")
             if not ok:
                 return 1
-        except ReproError as err:
-            print(f"  verification unavailable: {err}")
     return 0
+
+
+def _report_from_digest(args) -> int:
+    """Render the adaptation-cost table for a cached sweep digest."""
+    import json
+    from pathlib import Path
+
+    root = Path(args.cache_dir)
+    matches = sorted(root.glob(f"{args.digest}*.json"))
+    if not matches:
+        print(f"no cache entry matching digest {args.digest!r} under {root}",
+              file=sys.stderr)
+        return 2
+    if len(matches) > 1:
+        print(f"digest prefix {args.digest!r} is ambiguous "
+              f"({len(matches)} entries); give more characters", file=sys.stderr)
+        return 2
+    with open(matches[0]) as fh:
+        entry = json.load(fh)
+    result = entry.get("result", {})
+    label = entry.get("spec", {}).get("kernel", "?")
+    nprocs = entry.get("spec", {}).get("nprocs", "?")
+    records = result.get("adapt_records", [])
+    rows = []
+    total = 0.0
+    for rec in records:
+        duration = rec.get("duration", 0.0)
+        total += duration
+        rows.append([
+            f"{rec.get('time', 0.0):.3f}",
+            len(rec.get("joins", [])),
+            len(rec.get("leaves", [])) + len(rec.get("urgent_leaves", [])),
+            f"{rec.get('nprocs_before', '?')}->{rec.get('nprocs_after', '?')}",
+            rec.get("drained_pages", 0),
+            f"{duration * 1e3:.1f}",
+        ])
+    rows.append(["total", "", "", "", "", f"{total * 1e3:.1f}"])
+    print(format_table(
+        ["t (s)", "joins", "leaves", "team", "drained pages", "cost (ms)"],
+        rows,
+        title=f"Cached adaptation costs: {label}-{nprocs} "
+              f"(digest {entry.get('digest', '?')[:12]})",
+    ))
+    print(f"  simulated runtime {result.get('runtime_seconds', 0.0):.3f}s, "
+          f"{result.get('adaptations', 0)} adapt event(s), "
+          f"{len(result.get('recoveries', []))} recover(ies)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run one observed scenario and print the §5 cost decomposition."""
+    if args.digest:
+        return _report_from_digest(args)
+    if not args.app:
+        print("report needs a kernel name (or --digest DIGEST)", file=sys.stderr)
+        return 2
+    from .api import ObsConfig, run as api_run
+
+    spec = _spec_from_args(args)
+    if spec is None:
+        return 2
+    report = api_run(spec, obs=ObsConfig(
+        trace_path=args.trace, metrics_path=args.metrics,
+    ))
+    bd = report.cost_breakdown
+    print(format_table(
+        ["phase", "seconds", "share"],
+        bd.rows(),
+        title=f"Adaptation cost breakdown: {spec.display_name} "
+              f"({args.preset} preset)",
+    ))
+    harness = sum(r.duration for r in report.experiment.adapt_records)
+    consistent = bd.consistent() and abs(harness - bd.adaptation_seconds) <= 1e-9
+    print(f"  {bd.adaptation_points} adaptation point(s); phase sum "
+          f"{'matches' if consistent else 'DOES NOT match'} the harness "
+          f"adaptation time ({harness:.6f}s)")
+    if bd.recovery_seconds:
+        print(f"  crash recovery: {bd.recovery_seconds:.6f}s "
+              f"(restore {bd.phases['recovery.restore'].seconds:.6f}s)")
+    interesting = {
+        "adapt.drained_pages": "exclusive pages drained",
+        "adapt.leaver_owned_pages": "leaver-owned pages",
+        "adapt.page_map_bytes": "page-location-map bytes shipped",
+        "migration.image_bytes": "migration image bytes",
+    }
+    for key, desc in interesting.items():
+        if bd.counters.get(key):
+            print(f"  {desc}: {bd.counters[key]:.0f}")
+    if args.trace:
+        print(f"  Chrome trace written to {args.trace} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.metrics:
+        print(f"  metrics written to {args.metrics}")
+    return 0 if consistent else 1
 
 
 def _make_cache(args):
@@ -211,7 +294,7 @@ def _sweep_summary(outcome) -> str:
 
 
 def cmd_table1(args) -> int:
-    from .exec import run_specs, spec_from_preset
+    from .api import spec_from_preset, sweep as api_sweep
 
     grid = [(app, nprocs) for app in APP_NAMES for nprocs in (8, 4, 1)]
     specs = [
@@ -219,7 +302,7 @@ def cmd_table1(args) -> int:
                          label=f"{app}-{nprocs}")
         for app, nprocs in grid
     ]
-    outcome = run_specs(
+    outcome = api_sweep(
         specs, jobs=args.jobs, cache=_make_cache(args), refresh=args.refresh,
         progress=_progress_printer(len(specs)),
     )
@@ -242,7 +325,7 @@ def cmd_table1(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from .exec import run_specs, spec_from_preset
+    from .api import spec_from_preset, sweep as api_sweep
 
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     for app in apps:
@@ -263,7 +346,7 @@ def cmd_sweep(args) -> int:
                          label=f"{app}-{nprocs}")
         for app, nprocs in grid
     ]
-    outcome = run_specs(
+    outcome = api_sweep(
         specs, jobs=args.jobs, cache=_make_cache(args), refresh=args.refresh,
         progress=_progress_printer(len(specs)),
     )
@@ -281,6 +364,13 @@ def cmd_sweep(args) -> int:
               f"{'stock' if args.uncalibrated else 'calibrated'} rates)",
     ))
     print(f"  {_sweep_summary(outcome)}", file=sys.stderr)
+    if args.timeline:
+        from .obs.export import pool_utilization, write_pool_trace
+
+        write_pool_trace(outcome, args.timeline)
+        print(f"  pool timeline written to {args.timeline} "
+              f"(worker utilization {pool_utilization(outcome):.0%})",
+              file=sys.stderr)
     if args.json:
         import json as _json
 
@@ -502,33 +592,61 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", default=None, metavar="FILE",
                        help="also write the full sweep (specs, digests, "
                             "results) as JSON")
+    sweep.add_argument("--timeline", default=None, metavar="FILE",
+                       help="write the worker-pool timeline as a Chrome "
+                            "trace (one track per worker)")
     _add_engine_args(sweep, jobs_default=None)
     sweep.set_defaults(fn=cmd_sweep)
 
+    def _add_scenario_args(p, app_required=True):
+        """The scenario-description flags run and report share."""
+        if app_required:
+            p.add_argument("app", help=f"kernel: {', '.join(APP_NAMES)}")
+        else:
+            p.add_argument("app", nargs="?", default=None,
+                           help=f"kernel: {', '.join(APP_NAMES)}")
+        p.add_argument("--nprocs", type=int, default=4)
+        p.add_argument("--preset", choices=sorted(PRESETS), default="bench")
+        p.add_argument("--adaptive", action="store_true",
+                       help="use the adaptive runtime even without events")
+        p.add_argument("--materialized", action="store_true",
+                       help="run real data through the DSM and verify")
+        p.add_argument("--extra-nodes", type=int, default=2,
+                       help="idle workstations available for joins")
+        p.add_argument("--grace", type=float, default=None,
+                       help="grace period for scripted leaves (s)")
+        p.add_argument("--event", action="append", type=_parse_event,
+                       metavar="ACTION:TIME[:NODE]",
+                       help="schedule an adapt event or crash (repeatable)")
+        p.add_argument("--faults", metavar="FILE", default=None,
+                       help="replay a fault plan file (crashes, partitions, "
+                            "message duplication/delay)")
+        p.add_argument("--checkpoint-interval", type=float, default=None,
+                       help="checkpoint period in simulated seconds")
+        p.add_argument("--failure-detection", action="store_true",
+                       help="run the heartbeat failure detector (implied by "
+                            "crash events and --faults)")
+
     run = sub.add_parser("run", help="run one kernel on a simulated NOW")
-    run.add_argument("app", help=f"kernel: {', '.join(APP_NAMES)}")
-    run.add_argument("--nprocs", type=int, default=4)
-    run.add_argument("--preset", choices=sorted(PRESETS), default="bench")
-    run.add_argument("--adaptive", action="store_true",
-                     help="use the adaptive runtime even without events")
-    run.add_argument("--materialized", action="store_true",
-                     help="run real data through the DSM and verify")
-    run.add_argument("--extra-nodes", type=int, default=2,
-                     help="idle workstations available for joins")
-    run.add_argument("--grace", type=float, default=None,
-                     help="grace period for scripted leaves (s)")
-    run.add_argument("--event", action="append", type=_parse_event,
-                     metavar="ACTION:TIME[:NODE]",
-                     help="schedule an adapt event or crash (repeatable)")
-    run.add_argument("--faults", metavar="FILE", default=None,
-                     help="replay a fault plan file (crashes, partitions, "
-                          "message duplication/delay)")
-    run.add_argument("--checkpoint-interval", type=float, default=None,
-                     help="checkpoint period in simulated seconds")
-    run.add_argument("--failure-detection", action="store_true",
-                     help="run the heartbeat failure detector (implied by "
-                          "crash events and --faults)")
+    _add_scenario_args(run)
     run.set_defaults(fn=cmd_run)
+
+    rep = sub.add_parser(
+        "report",
+        help="run one observed scenario and print the §5 adaptation-cost "
+             "breakdown (or render one from a cached sweep digest)",
+    )
+    _add_scenario_args(rep, app_required=False)
+    rep.add_argument("--digest", default=None, metavar="DIGEST",
+                     help="render the cost table from a cached sweep entry "
+                          "(unique digest prefix) instead of running")
+    rep.add_argument("--trace", default=None, metavar="FILE",
+                     help="export the Chrome/Perfetto trace.json")
+    rep.add_argument("--metrics", default=None, metavar="FILE",
+                     help="export the flat metrics.json")
+    rep.add_argument("--cache-dir", default=None,
+                     help="result-cache directory for --digest")
+    rep.set_defaults(fn=cmd_report)
 
     perf = sub.add_parser(
         "perfbench", help="wall-clock engine benchmarks (events/s, sim-s per wall-s)"

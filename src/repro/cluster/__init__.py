@@ -5,7 +5,22 @@ from .availability import DaySchedule, OwnerSchedule, PoissonOwnerActivity
 from .loadsensor import LoadSensor
 from .node import Node
 from .pool import NodePool
-from .traces import TraceEvent, TraceReplay, dump_trace, parse_trace, synthesize_workday
+from .traces import (
+    AvailabilityEvent,
+    TraceReplay,
+    dump_trace,
+    parse_trace,
+    synthesize_workday,
+)
+
+
+def __getattr__(name):
+    if name == "TraceEvent":  # renamed; the traces module carries the warning
+        from . import traces
+
+        return traces.TraceEvent
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "DaySchedule",
@@ -18,7 +33,7 @@ __all__ = [
     "PoissonOwnerActivity",
     "ScriptedEvent",
     "select_pid",
-    "TraceEvent",
+    "AvailabilityEvent",
     "TraceReplay",
     "dump_trace",
     "parse_trace",

@@ -19,7 +19,14 @@ from .adapt_events import EventScript, ScriptedEvent
 
 
 @dataclass(frozen=True)
-class TraceEvent:
+class AvailabilityEvent:
+    """One node-availability change in a trace.
+
+    Renamed from ``TraceEvent`` (which collided with the simulator's
+    :class:`~repro.simcore.trace.TraceRecord`); the old name remains as a
+    deprecated alias.
+    """
+
     time: float
     action: str  # "join" | "leave" | "crash"
     node_id: int
@@ -30,11 +37,25 @@ class TraceEvent:
         return base if self.grace is None else f"{base} {self.grace:.6f}"
 
 
-def parse_trace(source: Union[str, TextIO]) -> List[TraceEvent]:
+def __getattr__(name):
+    if name == "TraceEvent":
+        import warnings
+
+        warnings.warn(
+            "repro.cluster.traces.TraceEvent was renamed to "
+            "AvailabilityEvent (it collided with simcore.trace.TraceRecord)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return AvailabilityEvent
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def parse_trace(source: Union[str, TextIO]) -> List[AvailabilityEvent]:
     """Parse a trace from a string or file-like object."""
     if isinstance(source, str):
         source = io.StringIO(source)
-    events: List[TraceEvent] = []
+    events: List[AvailabilityEvent] = []
     for lineno, raw in enumerate(source, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -57,12 +78,12 @@ def parse_trace(source: Union[str, TextIO]) -> List[TraceEvent]:
             raise ConfigurationError(f"trace line {lineno}: {err}") from None
         if time < 0:
             raise ConfigurationError(f"trace line {lineno}: negative time")
-        events.append(TraceEvent(time, action, node, grace))
+        events.append(AvailabilityEvent(time, action, node, grace))
     events.sort(key=lambda e: (e.time, e.node_id))
     return events
 
 
-def dump_trace(events: Sequence[TraceEvent]) -> str:
+def dump_trace(events: Sequence[AvailabilityEvent]) -> str:
     """Render events back to the text format (round-trips with parse)."""
     lines = ["# time action node [grace]"]
     lines += [e.to_line() for e in sorted(events, key=lambda e: (e.time, e.node_id))]
@@ -72,7 +93,7 @@ def dump_trace(events: Sequence[TraceEvent]) -> str:
 class TraceReplay:
     """Install a parsed trace onto an adaptive runtime."""
 
-    def __init__(self, runtime, events: Sequence[TraceEvent]):
+    def __init__(self, runtime, events: Sequence[AvailabilityEvent]):
         self.runtime = runtime
         self.events = list(events)
         self.script = EventScript(
@@ -94,7 +115,7 @@ def synthesize_workday(
     mean_sessions: float = 2.0,
     mean_session_length: Optional[float] = None,
     grace: Optional[float] = None,
-) -> List[TraceEvent]:
+) -> List[AvailabilityEvent]:
     """A synthetic owner-activity trace over one 'day'.
 
     Each node's owner shows up a Poisson number of times for
@@ -105,7 +126,7 @@ def synthesize_workday(
         raise ConfigurationError("day_length must be positive")
     rng = RandomStreams(seed)
     mean_len = mean_session_length if mean_session_length else day_length / 8.0
-    events: List[TraceEvent] = []
+    events: List[AvailabilityEvent] = []
     for node_id in node_ids:
         stream = rng.stream(f"trace.{node_id}")
         sessions = stream.poisson(mean_sessions)
@@ -118,8 +139,8 @@ def synthesize_workday(
             end = min(start + length, day_length * 0.98)
             if end <= start:
                 continue
-            events.append(TraceEvent(start, "leave", node_id, grace))
-            events.append(TraceEvent(end, "join", node_id, None))
+            events.append(AvailabilityEvent(start, "leave", node_id, grace))
+            events.append(AvailabilityEvent(end, "join", node_id, None))
             cursor = end
     events.sort(key=lambda e: (e.time, e.node_id))
     return events

@@ -63,3 +63,7 @@ def ship_page_map(runtime, joiner) -> None:
         page: master.owner_of(page) for page in range(npages)
     }
     master.send(mk.PAGE_MAP, joiner.pid, {"owners": owners}, size=size)
+    obs = runtime.sim.obs
+    if obs.enabled:
+        obs.count("adapt.page_map_messages")
+        obs.count("adapt.page_map_bytes", size)

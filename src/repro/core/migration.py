@@ -16,6 +16,7 @@ from typing import Generator
 from ..errors import MigrationError
 from ..network import message as mk
 from ..network.message import Message
+from ..obs.core import TRACK_NETWORK
 
 
 @dataclass
@@ -94,6 +95,30 @@ def migrate_process(runtime, proc, dst_node) -> Generator:
     sim.tracer.emit(
         "adapt", "migrated", f"{proc.name} node{src_node.node_id}->node{dst_node.node_id}"
     )
+    obs = sim.obs
+    if obs.enabled:
+        obs.span(
+            TRACK_NETWORK,
+            "migration.spawn",
+            t0,
+            t0 + spawn,
+            category="migration",
+            pid=proc.pid,
+            dst=dst_node.node_id,
+        )
+        obs.span(
+            TRACK_NETWORK,
+            "migration.copy",
+            t0 + spawn,
+            sim.now,
+            category="migration",
+            pid=proc.pid,
+            image_bytes=image,
+            src=src_node.node_id,
+            dst=dst_node.node_id,
+        )
+        obs.count("migration.count")
+        obs.count("migration.image_bytes", image)
     return MigrationOutcome(
         pid=proc.pid,
         src_node=src_node.node_id,

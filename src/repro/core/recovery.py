@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
 from ..errors import RecoveryError
+from ..obs.core import TRACK_ADAPT
 from .checkpoint import restore_checkpoint_live
 
 
@@ -119,6 +120,7 @@ def run_recovery(
         runtime.rng.uniform("recovery.spawn")
     )
     yield sim.timeout(io_seconds + spawn_seconds)
+    t_restore = sim.now
 
     runtime._rebuild_after_crash(new_nodes)
     if ckpt is not None:
@@ -146,6 +148,33 @@ def run_recovery(
     )
     runtime.recoveries.append(record)
     runtime._finish_recovery()
+    obs = sim.obs
+    if obs.enabled:
+        # recovery.restore + recovery.rebuild tile recovery.total, same as
+        # the adaptation phases (rebuild is instantaneous in simulated
+        # time — DSM engines are re-created between events — so its span
+        # is usually zero-width; it is kept for the phase accounting).
+        obs.span(
+            TRACK_ADAPT,
+            "recovery.restore",
+            t0,
+            t_restore,
+            category="recovery",
+            reason=reason,
+            crashed=list(crashed_nodes),
+        )
+        obs.span(TRACK_ADAPT, "recovery.rebuild", t_restore, sim.now, category="recovery")
+        obs.span(
+            TRACK_ADAPT,
+            "recovery.total",
+            t0,
+            sim.now,
+            category="recovery",
+            lost_work_seconds=record.lost_work_seconds,
+            detection_latency=detection_latency,
+        )
+        obs.count("recovery.count")
+        obs.count("recovery.lost_work_seconds", record.lost_work_seconds)
     sim.tracer.emit(
         "fault",
         "recovery_end",

@@ -27,10 +27,11 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional
 
 from ..dsm.process import DsmProcess
-from ..dsm.runtime import RegionCtx, RunResult, TmkRuntime
+from ..dsm.runtime import DetectorCounters, RegionCtx, RunResult, TmkRuntime
 from ..errors import AdaptationError
 from ..faults.detector import FailureDetector
 from ..network import message as mk
+from ..obs.core import TRACK_ADAPT
 from ..simcore import RandomStreams
 from .adaptation import (
     AdaptationQueue,
@@ -333,6 +334,7 @@ class AdaptiveRuntime(TmkRuntime):
 
         # 1. bring shared memory into the valid-or-owned state
         yield from self.gc_at_fork_point()
+        t_gc = sim.now
 
         # 2. master migration (its node was reclaimed)
         master_leaves = [l for l in leaves if l.pid == self.team.MASTER_PID]
@@ -351,6 +353,8 @@ class AdaptiveRuntime(TmkRuntime):
                     if req.node_id in lst:
                         lst.remove(req.node_id)
 
+        t_migration = sim.now
+
         # 3. drain leaving processes' exclusively-owned pages
         leaving_pids: List[int] = []
         for req in slave_leaves:
@@ -359,6 +363,7 @@ class AdaptiveRuntime(TmkRuntime):
             record.drained_pages += fetched
             record.leaver_owned_pages += owned
             leaving_pids.append(req.pid)
+        t_fetch = sim.now
 
         # 4/5/6. reassign ids, retire leavers, append joiners, ship maps
         self._rebuild_team(leaving_pids, slave_leaves, joins)
@@ -383,6 +388,46 @@ class AdaptiveRuntime(TmkRuntime):
         record.traffic_bytes = delta.bytes
         record.max_link_bytes = delta.max_link_bytes()
         self.queue.history.append(record)
+        obs = sim.obs
+        if obs.enabled:
+            # The phase spans tile [t0, now] contiguously, so the phase
+            # seconds sum exactly to record.duration (the harness number).
+            # adapt.barrier is zero-width by construction: adaptation
+            # points sit at fork boundaries where the team is already
+            # quiesced (§4.1), so no extra quiesce wait is ever paid.
+            end = sim.now
+            detail = dict(joins=len(joins), leaves=len(leaves))
+            obs.span(TRACK_ADAPT, "adapt.barrier", t0, t0, category="adapt")
+            obs.span(TRACK_ADAPT, "adapt.gc", t0, t_gc, category="adapt", **detail)
+            obs.span(
+                TRACK_ADAPT, "adapt.migration", t_gc, t_migration, category="adapt"
+            )
+            obs.span(
+                TRACK_ADAPT,
+                "adapt.exclusive_fetch",
+                t_migration,
+                t_fetch,
+                category="adapt",
+                drained_pages=record.drained_pages,
+                leaver_owned_pages=record.leaver_owned_pages,
+            )
+            obs.span(
+                TRACK_ADAPT, "adapt.repartition", t_fetch, end, category="adapt"
+            )
+            obs.span(
+                TRACK_ADAPT,
+                "adapt.total",
+                t0,
+                end,
+                category="adapt",
+                traffic_bytes=record.traffic_bytes,
+                nprocs_before=record.nprocs_before,
+                nprocs_after=record.nprocs_after,
+            )
+            obs.count("adapt.events", events)
+            obs.count("adapt.drained_pages", record.drained_pages)
+            obs.count("adapt.leaver_owned_pages", record.leaver_owned_pages)
+            obs.count("adapt.traffic_bytes", record.traffic_bytes)
         sim.tracer.emit(
             "adapt",
             "adaptation_end",
@@ -498,7 +543,9 @@ class AdaptiveRuntime(TmkRuntime):
         res.adapt_log = list(self.queue.history)
         res.recoveries = list(self.recoveries)
         if self.detector is not None:
-            res.heartbeats_sent = self.detector.heartbeats_sent
-            res.heartbeat_misses = self.detector.heartbeat_misses
-            res.false_suspicions = self.detector.false_suspicions
+            res.detector = DetectorCounters(
+                heartbeats_sent=self.detector.heartbeats_sent,
+                heartbeat_misses=self.detector.heartbeat_misses,
+                false_suspicions=self.detector.false_suspicions,
+            )
         return res

@@ -697,6 +697,17 @@ class DsmProcess:
                         "dsm", "page_fetch", f"{self.name}<-P{owner} pg{page} (bulk)"
                     )
             self.stats.fault_wait_time += self.sim.now - t0
+            obs = self.sim.obs
+            if obs.enabled and obs.per_process:
+                obs.span(
+                    f"P{self.pid}",
+                    "fault.wait",
+                    t0,
+                    self.sim.now,
+                    category="dsm",
+                    pages=len(pages),
+                    bulk=True,
+                )
 
     def _ensure_access(self, page: int, write: bool) -> Generator:
         """Fault in one page for read or write access."""
@@ -712,6 +723,17 @@ class DsmProcess:
             if pte.pending:
                 yield from self._fetch_pending(pte)
             self.stats.fault_wait_time += self.sim.now - t0
+            obs = self.sim.obs
+            if obs.enabled and obs.per_process:
+                obs.span(
+                    f"P{self.pid}",
+                    "fault.wait",
+                    t0,
+                    self.sim.now,
+                    category="dsm",
+                    page=page,
+                    write=write,
+                )
         if write:
             self._prepare_write(pte)
         elif pte.mode is AccessMode.NONE:
@@ -912,6 +934,9 @@ class DsmProcess:
             if msg.payload["gc"]:
                 yield from self.gc_participate()
         self.stats.barrier_wait_time += self.sim.now - t0
+        obs = self.sim.obs
+        if obs.enabled and obs.per_process:
+            obs.span(f"P{self.pid}", "barrier.wait", t0, self.sim.now, category="dsm")
 
     # ------------------------------------------------------------------
     # garbage collection participation
@@ -1080,7 +1105,11 @@ class DsmProcess:
     def compute(self, seconds: float) -> Generator:
         """Charge ``seconds`` of application CPU work on the current node."""
         self.stats.compute_time += seconds
+        t0 = self.sim.now
         yield from self.node.compute(seconds)
+        obs = self.sim.obs
+        if obs.enabled and obs.per_process:
+            obs.span(f"P{self.pid}", "compute", t0, self.sim.now, category="app")
 
     def array(self, seg: SharedSegment) -> np.ndarray:
         """Materialized view of a segment's local copy (shape/dtype applied)."""

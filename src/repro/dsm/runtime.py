@@ -15,6 +15,7 @@ behaviour Table 1 compares against.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
@@ -23,6 +24,8 @@ import numpy as np
 from ..config import SystemConfig
 from ..errors import DsmError, ProtocolError
 from ..network import message as mk
+from ..obs.breakdown import CostBreakdown
+from ..obs.core import TRACK_MASTER
 from ..simcore import Simulator
 from .barrier import BarrierManager
 from .locks import LockManager
@@ -126,6 +129,39 @@ class MasterApi:
         yield from fn(self.ctx)
 
 
+@dataclass(frozen=True)
+class NetworkCounters:
+    """Data-plane reliability counters (added piecemeal in PR 1)."""
+
+    #: Data-plane messages dropped by the seeded loss model.
+    dropped: int = 0
+    #: Request re-sends performed by retransmit timers across all NICs.
+    retransmissions: int = 0
+
+
+@dataclass(frozen=True)
+class DetectorCounters:
+    """Failure-detector counters (adaptive runs only; added in PR 2)."""
+
+    #: Probes sent by the master.
+    heartbeats_sent: int = 0
+    #: Probes that missed their ack deadline.
+    heartbeat_misses: int = 0
+    #: Nodes suspected (>=1 miss) that later acked before being declared.
+    false_suspicions: int = 0
+
+
+#: Old flat RunResult attribute -> (group field, attribute) for the
+#: one-release compatibility shim.
+_RESULT_COMPAT = {
+    "dropped": ("network", "dropped"),
+    "retransmissions": ("network", "retransmissions"),
+    "heartbeats_sent": ("detector", "heartbeats_sent"),
+    "heartbeat_misses": ("detector", "heartbeat_misses"),
+    "false_suspicions": ("detector", "false_suspicions"),
+}
+
+
 @dataclass
 class RunResult:
     """Outcome of one program run."""
@@ -137,18 +173,15 @@ class RunResult:
     adaptations: int = 0
     #: (time, kind, detail) adaptation event log (adaptive runs only).
     adapt_log: List[Tuple[float, str, str]] = field(default_factory=list)
-    #: Data-plane messages dropped by the seeded loss model.
-    dropped: int = 0
-    #: Request re-sends performed by retransmit timers across all NICs.
-    retransmissions: int = 0
-    #: Failure-detector probes sent by the master (adaptive runs only).
-    heartbeats_sent: int = 0
-    #: Probes that missed their ack deadline.
-    heartbeat_misses: int = 0
-    #: Nodes suspected (>=1 miss) that later acked before being declared.
-    false_suspicions: int = 0
+    #: Data-plane reliability counters.
+    network: NetworkCounters = field(default_factory=NetworkCounters)
+    #: Failure-detector counters (zeros on non-adaptive runs).
+    detector: DetectorCounters = field(default_factory=DetectorCounters)
     #: One :class:`~repro.core.recovery.RecoveryRecord` per crash recovery.
     recoveries: List[Any] = field(default_factory=list)
+    #: Per-phase adaptation-cost decomposition (observability-enabled
+    #: runs only; ``None`` otherwise).
+    cost_breakdown: Optional[CostBreakdown] = None
 
     @property
     def total(self) -> DsmStats:
@@ -156,6 +189,21 @@ class RunResult:
         for s in self.per_process.values():
             acc = acc.add(s)
         return acc
+
+    def __getattr__(self, name: str) -> Any:
+        # Pre-PR-4 flat counter names; kept one release behind a warning.
+        try:
+            group, attr = _RESULT_COMPAT[name]
+        except KeyError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            ) from None
+        warnings.warn(
+            f"RunResult.{name} is deprecated; use RunResult.{group}.{attr}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(getattr(self, group), attr)
 
 
 class TmkRuntime:
@@ -263,13 +311,17 @@ class TmkRuntime:
 
     def result(self) -> RunResult:
         traffic = self._switch.stats.snapshot()
+        obs = self.sim.obs
         return RunResult(
             runtime_seconds=self.finish_time if self.finish_time is not None else self.sim.now,
             traffic=traffic,
             per_process={pid: p.stats.copy() for pid, p in self.procs.items()},
             forks=self.fork_seq,
-            dropped=self._switch.loss.dropped if self._switch.loss else 0,
-            retransmissions=traffic.retransmissions,
+            network=NetworkCounters(
+                dropped=self._switch.loss.dropped if self._switch.loss else 0,
+                retransmissions=traffic.retransmissions,
+            ),
+            cost_breakdown=CostBreakdown.from_registry(obs) if obs.enabled else None,
         )
 
     def _start_slave(self, proc: DsmProcess) -> None:
@@ -335,6 +387,8 @@ class TmkRuntime:
         master.close_interval()
         yield from self.at_adaptation_point()
         self.fork_seq += 1
+        obs = self.sim.obs
+        fork_t0 = self.sim.now
         self.sim.tracer.emit("tmk", "fork", f"#{self.fork_seq} {phase_name}")
         for pid in self.team.slave_pids:
             notices = master.notices_unknown_to(self.slave_vcs[pid])
@@ -368,12 +422,24 @@ class TmkRuntime:
             self.slave_vcs[p["pid"]] = p["vc"].copy()
             want_gc = want_gc or p["want_gc"]
         self.sim.tracer.emit("tmk", "join", f"#{self.fork_seq} {phase_name}")
+        if obs.enabled:
+            obs.span(
+                TRACK_MASTER,
+                "fork_join",
+                fork_t0,
+                self.sim.now,
+                category="region",
+                phase=phase_name,
+                fork=self.fork_seq,
+            )
         if want_gc:
             yield from self.gc_at_fork_point()
 
     def gc_at_fork_point(self) -> Generator:
         """Master-coordinated GC while all slaves are in Tmk_wait."""
         master = self.master
+        obs = self.sim.obs
+        gc_t0 = self.sim.now
         self.sim.tracer.emit("dsm", "gc_start", f"fork#{self.fork_seq}")
         for pid in self.team.slave_pids:
             notices = master.notices_unknown_to(self.slave_vcs[pid])
@@ -397,3 +463,13 @@ class TmkRuntime:
         self.slave_vcs = {
             pid: VectorClock.zeros(self.team.nprocs) for pid in self.team.slave_pids
         }
+        if obs.enabled:
+            obs.span(
+                TRACK_MASTER,
+                "gc.fork_point",
+                gc_t0,
+                self.sim.now,
+                category="dsm",
+                fork=self.fork_seq,
+            )
+            obs.count("gc.rounds")

@@ -42,14 +42,22 @@ def default_jobs() -> int:
 # ---------------------------------------------------------------------------
 # single-spec execution (runs in workers and on the jobs=1 path alike)
 # ---------------------------------------------------------------------------
-def run_spec(spec: ScenarioSpec, repeat: int = 1) -> Tuple[ScenarioResult, float]:
-    """Execute one spec to completion; returns (result, best wall seconds).
+def execute_spec(spec: ScenarioSpec, repeat: int = 1, obs=None):
+    """Run one spec live; returns (ExperimentResult, best wall seconds).
+
+    This is the single place a :class:`ScenarioSpec` turns into a
+    simulation — :func:`run_spec` (and through it the whole engine) and
+    :func:`repro.api.run` both come through here.  ``obs`` is a
+    :class:`~repro.obs.Registry` recorded into by the run; pass it only
+    with ``repeat=1`` (repeats would record every rerun into it).
 
     ``repeat`` reruns the simulation and keeps the best wall time (the
     simulated outputs are identical across repeats by construction).
     """
     from ..bench.harness import run_experiment
 
+    if obs is not None and repeat > 1:
+        raise ExecError("obs recording requires repeat=1")
     cfg = spec.build_config()
     runtime_kwargs = {}
     if spec.checkpoint_interval is not None:
@@ -72,10 +80,17 @@ def run_spec(spec: ScenarioSpec, repeat: int = 1) -> Tuple[ScenarioResult, float
             materialized=spec.materialized,
             events=install,
             runtime_kwargs=runtime_kwargs if spec.effective_adaptive else None,
+            obs=obs,
         )
         wall = time.perf_counter() - t0
         if wall < best_wall:
             best_wall, best = wall, res
+    return best, best_wall
+
+
+def run_spec(spec: ScenarioSpec, repeat: int = 1) -> Tuple[ScenarioResult, float]:
+    """Execute one spec to completion; returns (result, best wall seconds)."""
+    best, best_wall = execute_spec(spec, repeat=repeat)
     return (
         ScenarioResult.from_experiment(best, events=best.runtime.sim.events_executed),
         best_wall,
@@ -112,6 +127,14 @@ class TaskOutcome:
     cached: bool
     #: Executions attempted (0 for hits, >1 after a worker-crash retry).
     attempts: int
+    #: Pool slot that executed this task (0 on the serial path, -1 for
+    #: cache hits — they take no pool time).
+    worker: int = -1
+    #: Wall-clock start/end of the successful execution, in seconds since
+    #: the sweep began (both 0.0 for cache hits).  ``repro sweep
+    #: --timeline`` renders these as the pool utilization timeline.
+    started_at: float = 0.0
+    ended_at: float = 0.0
 
 
 @dataclass
@@ -181,21 +204,26 @@ def run_specs(
     if pending:
         if jobs == 1:
             for i, spec in pending:
+                started = time.perf_counter() - t_start
                 result, wall = run_spec(spec, repeat=repeat)
+                ended = time.perf_counter() - t_start
                 if cache is not None:
                     cache.put(spec, result, wall_seconds=wall)
                 _finish(TaskOutcome(i, spec, result, wall, cached=False,
-                                    attempts=1))
+                                    attempts=1, worker=0,
+                                    started_at=started, ended_at=ended))
         else:
             completed, retried = _run_parallel(
                 pending, jobs=jobs, repeat=repeat, retries=retries,
+                t_start=t_start,
             )
             for i, spec in pending:
-                result, wall, attempts = completed[i]
+                result, wall, attempts, worker, started, ended = completed[i]
                 if cache is not None:
                     cache.put(spec, result, wall_seconds=wall)
                 _finish(TaskOutcome(i, spec, result, wall, cached=False,
-                                    attempts=attempts))
+                                    attempts=attempts, worker=worker,
+                                    started_at=started, ended_at=ended))
 
     return SweepOutcome(
         outcomes=outcomes,  # type: ignore[arg-type]  (all filled above)
@@ -226,7 +254,8 @@ def _run_parallel(
     jobs: int,
     repeat: int,
     retries: int,
-) -> Tuple[Dict[int, Tuple[ScenarioResult, float, int]], int]:
+    t_start: Optional[float] = None,
+) -> Tuple[Dict[int, Tuple[ScenarioResult, float, int, int, float, float]], int]:
     """Execute tasks with one spawned process per task, ``jobs`` at a time.
 
     A dedicated process per task makes crash attribution exact: a worker
@@ -241,23 +270,32 @@ def _run_parallel(
     from multiprocessing.connection import wait as conn_wait
 
     ctx = mp.get_context("spawn")
-    completed: Dict[int, Tuple[ScenarioResult, float, int]] = {}
+    if t_start is None:
+        t_start = time.perf_counter()
+    completed: Dict[int, Tuple[ScenarioResult, float, int, int, float, float]] = {}
     retried = 0
     queue = deque((i, spec, 1) for i, spec in tasks)
     running: Dict[object, tuple] = {}
+    free_slots = list(range(jobs - 1, -1, -1))  # pop() hands out slot 0 first
     try:
         while queue or running:
             while queue and len(running) < jobs:
                 i, spec, attempt = queue.popleft()
+                slot = free_slots.pop()
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_child_main, args=(child_conn, (i, spec, repeat)),
                 )
+                started = time.perf_counter() - t_start
                 proc.start()
                 child_conn.close()
-                running[proc.sentinel] = (proc, parent_conn, i, spec, attempt)
+                running[proc.sentinel] = (
+                    proc, parent_conn, i, spec, attempt, slot, started,
+                )
             for sentinel in conn_wait(list(running)):
-                proc, conn, i, spec, attempt = running.pop(sentinel)
+                proc, conn, i, spec, attempt, slot, started = running.pop(sentinel)
+                free_slots.append(slot)
+                ended = time.perf_counter() - t_start
                 message = None
                 try:
                     if conn.poll():
@@ -270,6 +308,7 @@ def _run_parallel(
                     index, result_dict, wall = message[1]
                     completed[index] = (
                         ScenarioResult.from_dict(result_dict), wall, attempt,
+                        slot, started, ended,
                     )
                 elif message is not None and message[0] == "err":
                     raise ExecError(

@@ -87,6 +87,9 @@ class FailureDetector:
             dst_pid=pid,
         )
         self.heartbeats_sent += 1
+        obs = sim.obs
+        if obs.enabled:
+            obs.count("detector.heartbeats_sent")
         nic._pending_reqs.add(rid)
         try:
             nic.send(msg)
@@ -121,6 +124,9 @@ class FailureDetector:
     def _ack(self, node_id: int) -> None:
         if self._misses.get(node_id, 0) > 0:
             self.false_suspicions += 1
+            obs = self.runtime.sim.obs
+            if obs.enabled:
+                obs.count("detector.false_suspicions")
             self.runtime.sim.tracer.emit(
                 "fault", "suspicion_cleared", f"node{node_id}"
             )
@@ -133,6 +139,9 @@ class FailureDetector:
         if not runtime.team.has_node(node_id):
             return  # the team changed while the probe was in flight
         self.heartbeat_misses += 1
+        obs = runtime.sim.obs
+        if obs.enabled:
+            obs.count("detector.heartbeat_misses")
         count = self._misses.get(node_id, 0) + 1
         self._misses[node_id] = count
         runtime.sim.tracer.emit(

@@ -1,0 +1,131 @@
+"""Per-phase adaptation-cost accounting (the paper's §5 decomposition).
+
+The paper's headline cost structure: adaptation takes 1–9 s dominated by
+garbage collection; page fetches are proportional to the leavers'
+exclusively-owned pages; migration moves the image at ≈8.1 MB/s after a
+0.6–0.8 s process creation.  :class:`CostBreakdown` reconstructs exactly
+those terms from the span registry: the adaptation-point spans tile the
+``adapt.total`` interval, so the phase seconds sum to the adaptation time
+the harness already reports (``AdaptationRecord.duration``) — asserted by
+``tests/obs/test_breakdown.py`` and printed by ``repro report``.
+
+Span-name → paper-term mapping (docs/OBSERVABILITY.md has the full
+table):
+
+========================  ==============================================
+``adapt.gc``              §4.1 garbage collection (the dominant term)
+``adapt.migration``       §4.4 master migration (spawn + image copy)
+``adapt.exclusive_fetch``  §4.2 fetch of the leaver's exclusively-owned
+                          pages (max per-leaver pages bound the cost)
+``adapt.repartition``     pid reassignment, joiner setup, page-location-
+                          map shipment, fixed per-event bookkeeping
+``adapt.barrier``         quiesce wait — zero here, because adaptation
+                          points sit at fork boundaries where the team
+                          is already quiesced (§4.1)
+========================  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from .core import Registry
+
+#: The adaptation phases, in protocol order.  They tile ``adapt.total``.
+ADAPT_PHASES = (
+    "adapt.gc",
+    "adapt.migration",
+    "adapt.exclusive_fetch",
+    "adapt.repartition",
+    "adapt.barrier",
+)
+
+#: Crash-recovery phases (tile ``recovery.total`` the same way).
+RECOVERY_PHASES = ("recovery.restore", "recovery.rebuild")
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Aggregate of all spans carrying one phase name."""
+
+    phase: str
+    seconds: float = 0.0
+    count: int = 0
+
+    @property
+    def label(self) -> str:
+        return self.phase.split(".", 1)[-1].replace("_", " ")
+
+
+@dataclass
+class CostBreakdown:
+    """Everything ``repro report`` prints for one run."""
+
+    #: Phase name -> cost, adaptation phases first, in protocol order.
+    phases: Dict[str, PhaseCost] = field(default_factory=dict)
+    #: Total simulated seconds inside adaptation points.
+    adaptation_seconds: float = 0.0
+    #: Number of adaptation points executed.
+    adaptation_points: int = 0
+    #: Total simulated seconds inside crash recoveries.
+    recovery_seconds: float = 0.0
+    #: Flat counters (page-map bytes, drained pages, migration bytes...).
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(cls, reg: Registry) -> "CostBreakdown":
+        """Aggregate the registry's spans into the paper's cost terms."""
+        phases: Dict[str, PhaseCost] = {}
+        for name in ADAPT_PHASES + RECOVERY_PHASES:
+            spans = reg.select(name=name)
+            phases[name] = PhaseCost(
+                phase=name,
+                seconds=sum(s.duration for s in spans),
+                count=len(spans),
+            )
+        totals = reg.select(name="adapt.total")
+        rec_totals = reg.select(name="recovery.total")
+        return cls(
+            phases=phases,
+            adaptation_seconds=sum(s.duration for s in totals),
+            adaptation_points=len(totals),
+            recovery_seconds=sum(s.duration for s in rec_totals),
+            counters={k: c.value for k, c in sorted(reg.counters.items())},
+        )
+
+    # -- consistency -----------------------------------------------------
+    def adapt_phase_sum(self) -> float:
+        """Summed adaptation-phase seconds; equals
+        :attr:`adaptation_seconds` because the phase spans tile the
+        ``adapt.total`` interval."""
+        return sum(self.phases[name].seconds for name in ADAPT_PHASES)
+
+    def consistent(self, tol: float = 1e-9) -> bool:
+        """Do the phases account for the whole adaptation time?"""
+        return abs(self.adapt_phase_sum() - self.adaptation_seconds) <= tol
+
+    # -- rendering -------------------------------------------------------
+    def rows(self) -> List[List[Any]]:
+        """``[phase, seconds, share]`` rows for
+        :func:`repro.bench.reporting.format_table`."""
+        total = self.adaptation_seconds
+        rows = []
+        for name in ADAPT_PHASES:
+            cost = self.phases[name]
+            share = cost.seconds / total if total > 0 else 0.0
+            rows.append([cost.label, f"{cost.seconds:.6f}", f"{share:6.1%}"])
+        rows.append(["total (= harness adapt time)", f"{total:.6f}", f"{1:6.1%}" if total > 0 else "     -"])
+        return rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "adaptation_seconds": self.adaptation_seconds,
+            "adaptation_points": self.adaptation_points,
+            "recovery_seconds": self.recovery_seconds,
+            "phases": {
+                name: {"seconds": cost.seconds, "count": cost.count}
+                for name, cost in self.phases.items()
+            },
+            "counters": dict(self.counters),
+        }

@@ -1,0 +1,92 @@
+"""Minimal JSON-Schema validation for the exported artifacts.
+
+CI validates every ``trace.json``/``metrics.json`` against the schemas
+checked in under ``docs/schemas/``.  The container deliberately carries
+no ``jsonschema`` dependency, so this implements the subset the schemas
+use — ``type``, ``properties``, ``required``, ``items``, ``enum``,
+``minimum`` — nothing more.  Unknown keywords are ignored (as a real
+validator would treat unsupported vocabularies).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict
+
+from ..errors import ReproError
+
+SCHEMA_DIR = pathlib.Path(__file__).resolve().parents[3] / "docs" / "schemas"
+TRACE_SCHEMA_PATH = SCHEMA_DIR / "trace.schema.json"
+METRICS_SCHEMA_PATH = SCHEMA_DIR / "metrics.schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ReproError):
+    """The instance does not conform to the schema."""
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> None:
+    """Raise :class:`SchemaError` if ``instance`` violates ``schema``."""
+    typ = schema.get("type")
+    if typ is not None:
+        expected = _TYPES[typ]
+        ok = isinstance(instance, expected)
+        # bool is an int subclass in Python; keep them distinct.
+        if typ in ("number", "integer") and isinstance(instance, bool):
+            ok = False
+        if not ok:
+            raise SchemaError(f"{path}: expected {typ}, got {type(instance).__name__}")
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(f"{path}: {instance!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            raise SchemaError(f"{path}: {instance} < minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaError(f"{path}: missing required property {name!r}")
+        props = schema.get("properties", {})
+        for name, sub in props.items():
+            if name in instance:
+                validate(instance[name], sub, f"{path}.{name}")
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for name, value in instance.items():
+                if name not in props:
+                    validate(value, extra, f"{path}.{name}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+def _load(path) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def validate_trace(payload: Dict[str, Any]) -> None:
+    validate(payload, _load(TRACE_SCHEMA_PATH))
+
+
+def validate_metrics(payload: Dict[str, Any]) -> None:
+    validate(payload, _load(METRICS_SCHEMA_PATH))
+
+
+def validate_trace_file(path: str) -> None:
+    """Validate an exported ``trace.json`` (CI entry point)."""
+    validate_trace(_load(path))
+
+
+def validate_metrics_file(path: str) -> None:
+    """Validate an exported ``metrics.json`` (CI entry point)."""
+    validate_metrics(_load(path))

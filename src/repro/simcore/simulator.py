@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from ..errors import DeadlockError, SimulationError
+from ..obs.core import NULL_OBS, Registry
 from .events import EventQueue, NORMAL
 from .trace import Tracer
 
@@ -18,12 +19,16 @@ from .trace import Tracer
 class Simulator:
     """Deterministic discrete-event simulation engine."""
 
-    def __init__(self, trace: bool = False):
+    def __init__(self, trace: bool = False, obs: Optional[Registry] = None):
         self.now: float = 0.0
         self._queue = EventQueue()
         self._processes: set = set()
         self._failure: Optional[BaseException] = None
         self.tracer = Tracer(self, enabled=trace)
+        #: Observability registry.  Instrumentation sites record spans and
+        #: counters into it; :data:`~repro.obs.core.NULL_OBS` (the default)
+        #: is a no-op, so an un-instrumented run pays nothing.
+        self.obs: Registry = obs if obs is not None else NULL_OBS
         #: Events executed so far (cancelled events are not counted).  The
         #: perfbench harness reports events/second from this.
         self.events_executed: int = 0

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.cluster import (
-    TraceEvent,
+    AvailabilityEvent,
     TraceReplay,
     dump_trace,
     parse_trace,
@@ -20,13 +20,13 @@ class TestParsing:
     def test_basic_lines(self):
         events = parse_trace("0.5 leave 3 2.0\n1.25 join 3\n")
         assert events == [
-            TraceEvent(0.5, "leave", 3, 2.0),
-            TraceEvent(1.25, "join", 3, None),
+            AvailabilityEvent(0.5, "leave", 3, 2.0),
+            AvailabilityEvent(1.25, "join", 3, None),
         ]
 
     def test_comments_and_blanks(self):
         text = "# header\n\n0.1 join 2   # inline comment\n"
-        assert parse_trace(text) == [TraceEvent(0.1, "join", 2, None)]
+        assert parse_trace(text) == [AvailabilityEvent(0.1, "join", 2, None)]
 
     def test_sorting(self):
         events = parse_trace("2.0 join 1\n1.0 leave 1\n")
@@ -37,7 +37,7 @@ class TestParsing:
             parse_trace("0.1 explode 2\n")
 
     def test_crash_action_parses(self):
-        assert parse_trace("0.1 crash 2\n") == [TraceEvent(0.1, "crash", 2, None)]
+        assert parse_trace("0.1 crash 2\n") == [AvailabilityEvent(0.1, "crash", 2, None)]
 
     def test_crash_with_grace_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -57,8 +57,8 @@ class TestParsing:
 
     def test_roundtrip(self):
         events = [
-            TraceEvent(0.25, "leave", 4, 3.0),
-            TraceEvent(0.75, "join", 4, None),
+            AvailabilityEvent(0.25, "leave", 4, 3.0),
+            AvailabilityEvent(0.75, "join", 4, None),
         ]
         assert parse_trace(dump_trace(events)) == events
 
@@ -73,10 +73,10 @@ class TestParsing:
         )
     )
     def test_roundtrip_property(self, raw):
-        events = [TraceEvent(round(t, 6), a, n) for t, a, n in raw]
+        events = [AvailabilityEvent(round(t, 6), a, n) for t, a, n in raw]
         parsed = parse_trace(dump_trace(events))
         assert sorted(parsed, key=lambda e: (e.time, e.node_id)) == sorted(
-            [TraceEvent(float(f"{e.time:.6f}"), e.action, e.node_id) for e in events],
+            [AvailabilityEvent(float(f"{e.time:.6f}"), e.action, e.node_id) for e in events],
             key=lambda e: (e.time, e.node_id),
         )
 

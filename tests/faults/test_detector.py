@@ -18,9 +18,9 @@ class TestHealthyRuns:
         sim, rt, pool = build_adaptive(nprocs=3, failure_detection=True)
         prog, *_ = counter_program(rt, n_iter=10)
         res = rt.run(prog)
-        assert res.heartbeats_sent > 0
-        assert res.heartbeat_misses == 0
-        assert res.false_suspicions == 0
+        assert res.detector.heartbeats_sent > 0
+        assert res.detector.heartbeat_misses == 0
+        assert res.detector.false_suspicions == 0
         assert res.recoveries == []
 
     def test_disabled_interval_sends_nothing(self):
@@ -28,14 +28,14 @@ class TestHealthyRuns:
         sim, rt, pool = build_adaptive(nprocs=3, cfg=cfg, failure_detection=True)
         prog, *_ = counter_program(rt, n_iter=5)
         res = rt.run(prog)
-        assert res.heartbeats_sent == 0
+        assert res.detector.heartbeats_sent == 0
 
     def test_no_failure_detection_means_no_detector(self):
         sim, rt, pool = build_adaptive(nprocs=3)
         prog, *_ = counter_program(rt, n_iter=5)
         res = rt.run(prog)
         assert rt.detector is None
-        assert res.heartbeats_sent == 0
+        assert res.detector.heartbeats_sent == 0
 
 
 class TestSuspicion:
@@ -57,8 +57,8 @@ class TestSuspicion:
             rt, parse_plan("0.30 degrade 1 0.02\n0.42 restore 1")
         ).install()
         res = rt.run(prog)
-        assert res.heartbeat_misses >= 1
-        assert res.false_suspicions >= 1
+        assert res.detector.heartbeat_misses >= 1
+        assert res.detector.false_suspicions >= 1
         assert res.recoveries == []
 
     def test_sustained_partition_declares_crash(self):

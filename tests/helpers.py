@@ -10,13 +10,14 @@ from repro.simcore import Simulator
 
 
 def build_system(nprocs=4, extra_nodes=0, cfg=None, materialized=True, trace=False,
-                 runtime_cls=TmkRuntime, **runtime_kw):
+                 obs=None, runtime_cls=TmkRuntime, **runtime_kw):
     """A simulator + switch + pool + runtime with ``nprocs`` team nodes.
 
-    ``extra_nodes`` provisions idle workstations (join candidates).
+    ``extra_nodes`` provisions idle workstations (join candidates);
+    ``obs`` is an optional :class:`repro.obs.Registry` to record into.
     Returns (sim, runtime, pool).
     """
-    sim = Simulator(trace=trace)
+    sim = Simulator(trace=trace, obs=obs)
     cfg = cfg or SystemConfig()
     switch = Switch(sim, cfg.network)
     pool = NodePool(sim, switch)
@@ -27,11 +28,11 @@ def build_system(nprocs=4, extra_nodes=0, cfg=None, materialized=True, trace=Fal
 
 
 def build_adaptive(nprocs=4, extra_nodes=2, cfg=None, materialized=True, trace=False,
-                   **runtime_kw):
+                   obs=None, **runtime_kw):
     """An AdaptiveRuntime over ``nprocs`` team nodes + idle extras."""
     from repro.core import AdaptiveRuntime
 
-    sim = Simulator(trace=trace)
+    sim = Simulator(trace=trace, obs=obs)
     cfg = cfg or SystemConfig()
     switch = Switch(sim, cfg.network)
     pool = NodePool(sim, switch)

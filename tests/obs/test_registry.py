@@ -1,0 +1,105 @@
+"""The span/counter primitives: recording, querying, the null registry."""
+
+import pytest
+
+from repro.obs import (
+    NULL_OBS,
+    Counter,
+    NullRegistry,
+    ObsConfig,
+    Registry,
+    Span,
+)
+
+
+class TestSpan:
+    def test_duration(self):
+        s = Span(track="adapt", name="adapt.gc", start=1.0, end=3.5)
+        assert s.duration == 2.5
+
+    def test_frozen(self):
+        s = Span(track="adapt", name="adapt.gc", start=0.0, end=1.0)
+        with pytest.raises(AttributeError):
+            s.end = 2.0
+
+    def test_args_carried(self):
+        s = Span(track="adapt", name="adapt.gc", start=0.0, end=1.0,
+                 args={"joins": 1, "leaves": 0})
+        assert s.args["joins"] == 1
+
+
+class TestRegistry:
+    def test_record_and_select(self):
+        reg = Registry()
+        reg.span("adapt", "adapt.gc", 0.0, 1.0)
+        reg.span("adapt", "adapt.repartition", 1.0, 1.5)
+        reg.span("P0", "barrier.wait", 0.2, 0.3)
+        assert len(reg.spans) == 3
+        assert [s.name for s in reg.select(track="adapt")] == [
+            "adapt.gc", "adapt.repartition"]
+        assert [s.name for s in reg.select(prefix="adapt.")] == [
+            "adapt.gc", "adapt.repartition"]
+        assert reg.select(name="barrier.wait")[0].track == "P0"
+
+    def test_total(self):
+        reg = Registry()
+        reg.span("adapt", "adapt.gc", 0.0, 1.0)
+        reg.span("adapt", "adapt.gc", 2.0, 2.25)
+        assert reg.total("adapt.gc") == pytest.approx(1.25)
+        assert reg.total("never.recorded") == 0.0
+
+    def test_counters_accumulate(self):
+        reg = Registry()
+        reg.count("adapt.events")
+        reg.count("adapt.events")
+        reg.count("adapt.traffic_bytes", 4096)
+        assert reg.counter_value("adapt.events") == 2
+        assert reg.counter_value("adapt.traffic_bytes") == 4096
+        assert reg.counter_value("missing") == 0.0
+
+    def test_tracks_order_processes_numerically_last(self):
+        reg = Registry()
+        for track in ("P10", "P2", "network", "P0", "master", "adapt"):
+            reg.span(track, "x", 0.0, 1.0)
+        tracks = reg.tracks()
+        assert tracks[-3:] == ["P0", "P2", "P10"]
+        assert set(tracks[:-3]) == {"adapt", "master", "network"}
+
+    def test_merge(self):
+        a, b = Registry(), Registry()
+        a.span("adapt", "adapt.gc", 0.0, 1.0)
+        a.count("n", 1)
+        b.span("adapt", "adapt.gc", 1.0, 2.0)
+        b.count("n", 2)
+        a.merge([b])
+        assert len(a.spans) == 2
+        assert a.counter_value("n") == 3
+
+    def test_enabled_flag(self):
+        assert Registry().enabled is True
+        assert NullRegistry().enabled is False
+        assert NULL_OBS.enabled is False
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        NULL_OBS.span("adapt", "adapt.gc", 0.0, 1.0)
+        NULL_OBS.count("adapt.events")
+        assert list(NULL_OBS.spans) == []
+        assert NULL_OBS.counter_value("adapt.events") == 0.0
+
+
+class TestObsConfig:
+    def test_default_enabled(self):
+        cfg = ObsConfig()
+        assert cfg.enabled and cfg.per_process
+        assert isinstance(cfg.make_registry(), Registry)
+
+    def test_disabled_yields_null(self):
+        reg = ObsConfig(enabled=False).make_registry()
+        assert reg is NULL_OBS
+
+    def test_counter_dataclass(self):
+        c = Counter(name="n", value=3.0)
+        c.add(1.5)
+        assert c.name == "n" and c.value == 4.5

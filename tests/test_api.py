@@ -1,0 +1,146 @@
+"""The repro.api facade, RunResult compat shim, and deprecation paths."""
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    AdaptEvent,
+    ObsConfig,
+    RunReport,
+    run,
+    run_many,
+    spec_from_preset,
+    sweep,
+)
+from repro.dsm.runtime import DetectorCounters, NetworkCounters, RunResult
+
+
+def tiny_spec(**kw):
+    kw.setdefault("label", "api-test")
+    return spec_from_preset("tiny", "jacobi", 4, calibrated=False, **kw)
+
+
+class TestRun:
+    def test_unobserved_report(self):
+        report = run(tiny_spec())
+        assert isinstance(report, RunReport)
+        assert report.result.runtime_seconds > 0
+        assert report.experiment.app_name == "jacobi"
+        assert report.registry is None and report.cost_breakdown is None
+        assert report.wall_seconds > 0
+
+    def test_observed_report(self):
+        report = run(tiny_spec(label="api-obs"), obs=ObsConfig())
+        assert report.registry is not None
+        assert report.cost_breakdown is not None
+        assert len(report.registry.spans) > 0
+
+    def test_write_handles_require_registry(self):
+        report = run(tiny_spec())
+        with pytest.raises(ValueError, match="not observed"):
+            report.write_trace("/tmp/never-written.json")
+
+    def test_auto_export_paths(self, tmp_path):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        run(tiny_spec(label="api-exp"),
+            obs=ObsConfig(trace_path=str(trace), metrics_path=str(metrics)))
+        assert trace.exists() and metrics.exists()
+
+    def test_obs_with_repeat_rejected(self):
+        from repro.errors import ExecError
+
+        with pytest.raises(ExecError, match="repeat=1"):
+            run(tiny_spec(), obs=ObsConfig(), repeat=2)
+
+    def test_same_result_as_engine(self):
+        from repro.exec.pool import run_spec
+
+        spec = tiny_spec(label="api-vs-engine")
+        assert run(spec).result.to_json() == run_spec(spec)[0].to_json()
+
+
+class TestSweepFacade:
+    def test_sweep_and_run_many(self, tmp_path):
+        from repro.exec import ResultCache
+
+        specs = [tiny_spec(label=f"api-sweep-{n}") for n in (1, 2)]
+        cache = ResultCache(root=tmp_path / "cache")
+        outcome = sweep(specs, jobs=1, cache=cache)
+        assert [o.spec.label for o in outcome.outcomes] == [
+            "api-sweep-1", "api-sweep-2"]
+        assert run_many(specs, jobs=1, cache=cache) == outcome.results
+
+
+class TestRunResultCompatShim:
+    def _result(self):
+        return RunResult(
+            runtime_seconds=1.0, traffic=None, per_process={}, forks=0,
+            network=NetworkCounters(dropped=3, retransmissions=2),
+            detector=DetectorCounters(heartbeats_sent=7, heartbeat_misses=1,
+                                      false_suspicions=4),
+        )
+
+    def test_nested_access(self):
+        res = self._result()
+        assert res.network.dropped == 3
+        assert res.detector.heartbeats_sent == 7
+
+    def test_old_flat_names_still_work_with_warning(self):
+        res = self._result()
+        expected = {
+            "dropped": 3, "retransmissions": 2, "heartbeats_sent": 7,
+            "heartbeat_misses": 1, "false_suspicions": 4,
+        }
+        for name, value in expected.items():
+            with warnings.catch_warnings(record=True) as w:
+                warnings.simplefilter("always")
+                assert getattr(res, name) == value
+            assert len(w) == 1
+            assert issubclass(w[0].category, DeprecationWarning)
+            assert name in str(w[0].message)
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            self._result().no_such_field
+
+    def test_end_to_end_run_populates_nested(self):
+        spec = tiny_spec(label="api-shim-e2e", adaptive=True, extra_nodes=1,
+                         events=(AdaptEvent("crash", 0.03),),
+                         checkpoint_interval=0.02, failure_detection=True)
+        res = run(spec).experiment.run_result
+        assert res.detector.heartbeats_sent > 0
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            assert res.heartbeats_sent == res.detector.heartbeats_sent
+        assert any(issubclass(x.category, DeprecationWarning) for x in w)
+
+
+class TestDeprecatedEntrypoints:
+    def test_bench_run_experiment_warns_and_works(self):
+        import repro.bench
+
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            fn = repro.bench.run_experiment
+        assert any(issubclass(x.category, DeprecationWarning) for x in w)
+        from repro.bench.harness import run_experiment
+
+        assert fn is run_experiment
+
+    def test_exec_pool_entrypoints_warn_and_work(self):
+        import repro.exec
+        from repro.exec import pool
+
+        for name, target in (("run_spec", pool.run_spec),
+                             ("run_specs", pool.run_specs)):
+            with warnings.catch_warnings(record=True) as w:
+                warnings.simplefilter("always")
+                assert getattr(repro.exec, name) is target
+            assert any(issubclass(x.category, DeprecationWarning) for x in w)
+
+    def test_lazy_repro_api_attribute(self):
+        import repro
+
+        assert repro.api.run is run

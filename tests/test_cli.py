@@ -133,3 +133,63 @@ class TestSweep:
         rc = main(["table1", "--jobs", "1", "--no-cache"])
         assert rc == 0
         assert "Table 1" in capsys.readouterr().out
+
+    def test_sweep_timeline(self, tmp_path, capsys):
+        import json
+
+        timeline = tmp_path / "pool.json"
+        assert self._sweep(tmp_path, "--timeline", str(timeline)) == 0
+        assert "pool timeline written" in capsys.readouterr().err
+        payload = json.loads(timeline.read_text())
+        assert payload["otherData"]["schema"] == "repro-trace/1"
+        assert len([e for e in payload["traceEvents"] if e["ph"] == "X"]) == 2
+
+
+class TestReport:
+    def _report(self, *extra):
+        return main([
+            "report", "jacobi", "--preset", "tiny", "--nprocs", "8",
+            "--event", "leave:0.03:3", *extra,
+        ])
+
+    def test_breakdown_table_and_consistency(self, capsys):
+        assert self._report() == 0
+        out = capsys.readouterr().out
+        assert "Adaptation cost breakdown" in out
+        for phase in ("gc", "migration", "exclusive fetch", "repartition",
+                      "barrier"):
+            assert phase in out
+        assert "total (= harness adapt time)" in out
+        assert "phase sum matches the harness adaptation time" in out
+
+    def test_exports_validate(self, tmp_path, capsys):
+        from repro.obs.schema import validate_metrics_file, validate_trace_file
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert self._report("--trace", str(trace),
+                            "--metrics", str(metrics)) == 0
+        capsys.readouterr()
+        validate_trace_file(str(trace))
+        validate_metrics_file(str(metrics))
+
+    def test_requires_app_or_digest(self, capsys):
+        assert main(["report", "--preset", "tiny"]) == 2
+
+    def test_digest_mode_from_sweep_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "sweep", "--apps", "jacobi", "--nodes", "4", "--preset", "tiny",
+            "--jobs", "1", "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        digest = next(cache_dir.glob("*.json")).stem
+        rc = main(["report", "--digest", digest[:12],
+                   "--cache-dir", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "runtime" in out
+
+    def test_digest_mode_unknown_digest(self, tmp_path, capsys):
+        assert main(["report", "--digest", "feedfacefeed",
+                     "--cache-dir", str(tmp_path)]) == 2
