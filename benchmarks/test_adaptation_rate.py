@@ -11,7 +11,8 @@ runtime.
 
 import pytest
 
-from repro.bench import format_table, make_jacobi, run_experiment
+from repro.bench import format_table, make_jacobi
+from repro.bench.harness import run_experiment
 from repro.cluster import PeriodicAlternator
 
 FACTORY = lambda: make_jacobi(500, 220)  # ~4.7 s at 8 procs, plenty of points

@@ -9,7 +9,8 @@ on the master's downlink, and slaves never write anything.
 
 import pytest
 
-from repro.bench import format_table, make_jacobi, run_experiment
+from repro.bench import format_table, make_jacobi
+from repro.bench.harness import run_experiment
 
 
 def ckpt_run(n, interval=0.15):

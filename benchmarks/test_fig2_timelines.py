@@ -13,7 +13,8 @@ timeline; assertions pin the event ordering the figure depicts.
 
 import pytest
 
-from repro.bench import make_jacobi, run_experiment
+from repro.bench import make_jacobi
+from repro.bench.harness import run_experiment
 
 
 def timeline(result):

@@ -14,7 +14,8 @@ from fractions import Fraction
 
 import pytest
 
-from repro.bench import FIGURE3_MOVED, format_table, make_jacobi, run_experiment
+from repro.bench import FIGURE3_MOVED, format_table, make_jacobi
+from repro.bench.harness import run_experiment
 from repro.core import CompactShift, SwapLast, moved_fraction
 
 

@@ -14,7 +14,8 @@ the grace period tunes.
 
 import pytest
 
-from repro.bench import format_table, make_jacobi, run_experiment
+from repro.bench import format_table, make_jacobi
+from repro.bench.harness import run_experiment
 
 FACTORY = lambda: make_jacobi(1000, 14)  # ~1.3 s between adaptation points
 #: spawn (0.6-0.8 s) + ~1.5 s image copy: what an urgent leave costs

@@ -10,7 +10,8 @@ wavers — and the lossless run is byte-identical to the no-loss-model run
 
 import pytest
 
-from repro.bench import format_table, make_gauss, run_experiment
+from repro.bench import format_table, make_gauss
+from repro.bench.harness import run_experiment
 from repro.config import NetworkParams, SystemConfig
 
 RATES = (0.0, 0.02, 0.05, 0.10)

@@ -14,7 +14,8 @@ and that migration dwarfs a normal leave.
 import pytest
 
 from repro.apps import PAPER
-from repro.bench import MICRO, MIGRATION_COST, format_table, make_jacobi, run_experiment
+from repro.bench import MICRO, MIGRATION_COST, format_table, make_jacobi
+from repro.bench.harness import run_experiment
 from repro.config import SystemConfig
 
 

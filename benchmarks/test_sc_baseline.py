@@ -14,7 +14,8 @@ evaluation kernels under both protocols and measures the difference:
 import pytest
 
 from repro.apps import APP_NAMES
-from repro.bench import BENCH_CALIBRATED, format_table, make_jacobi, run_experiment
+from repro.bench import BENCH_CALIBRATED, format_table, make_jacobi
+from repro.bench.harness import run_experiment
 from repro.dsm import ScRuntime, TmkRuntime
 
 

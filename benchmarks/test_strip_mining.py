@@ -11,7 +11,8 @@ bench quantifies both sides of the trade on a long-region kernel.
 
 import pytest
 
-from repro.bench import format_table, run_experiment
+from repro.bench import format_table
+from repro.bench.harness import run_experiment
 from repro.openmp import OmpProgram, ParallelFor, compile_openmp, strip_mine
 
 REGION_SECONDS = 8.0  # aggregate work per construct (~2 s/region on 4 procs)

@@ -27,8 +27,8 @@ from repro.bench import (
     make_jacobi,
     make_nbf,
     nonadaptive_times,
-    run_experiment,
 )
+from repro.bench.harness import run_experiment
 from repro.cluster import PeriodicAlternator
 
 #: Longer-running variants so several adaptations land inside one run.

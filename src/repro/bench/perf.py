@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec import ScenarioSpec
 
-SCHEMA = "repro-perfbench/1"
+SCHEMA = "repro-perfbench/2"
 
 #: Events in the calibration spin loop.
 SPIN_EVENTS = 100_000
@@ -95,7 +95,7 @@ def micro_notice_apply(n_notices: int = 50_000) -> float:
     vc = VectorClock.zeros(2)
     for seq in range(1, n_notices // len(pages) + 2):
         vc = vc.copy()
-        vc.entries[1] = seq
+        vc.advance(1, seq)
         for page in pages:
             notices.append(WriteNotice(proc=1, seq=seq, page=page, vc=vc))
             if len(notices) >= n_notices:
@@ -127,12 +127,63 @@ def micro_plan_lookup(n_lookups: int = 200_000) -> float:
     return n_lookups / wall if wall > 0 else float("inf")
 
 
+def micro_diff_apply(n_applies: int = 20_000) -> float:
+    """Diff applications/second on the contiguous-scatter path.
+
+    The diff has ~25 dirty runs, so :meth:`Diff.apply` takes its fancy-index
+    branch — one scatter from the contiguous ``buf`` via the cached
+    positions array, the pattern every multi-run fetch hits.
+    """
+    import numpy as np
+
+    from ..dsm.diffs import make_diff
+    from ..dsm.vectorclock import VectorClock
+
+    rng = np.random.default_rng(0xD1FF)
+    twin = np.zeros(4096, dtype=np.uint8)
+    current = twin.copy()
+    for start in range(0, 4096, 170):  # ~25 sparse dirty runs
+        end = min(start + 48, 4096)
+        current[start:end] = rng.integers(1, 255, size=end - start, dtype=np.uint8)
+    diff = make_diff(
+        proc=0, seq=1, page=0, vc=VectorClock([1, 0]),
+        declared_ranges=[], twin=twin, current=current,
+    )
+    target = np.zeros(4096, dtype=np.uint8)
+    diff.apply(target)  # warm the cached (starts, ends, offsets) index
+    t0 = time.perf_counter()
+    for _ in range(n_applies):
+        diff.apply(target)
+    wall = time.perf_counter() - t0
+    return n_applies / wall if wall > 0 else float("inf")
+
+
+def micro_vc_tick(n_ticks: int = 200_000) -> float:
+    """tick+snapshot cycles/second on a width-8 clock.
+
+    Each iteration snapshots the clock (freezing it) and then ticks it
+    (forcing one copy-on-write detach) — exactly the per-interval-close
+    pattern of the interned-clock scheme.
+    """
+    from ..dsm.vectorclock import VectorClock
+
+    vc = VectorClock.zeros(8)
+    t0 = time.perf_counter()
+    for _ in range(n_ticks):
+        vc.snapshot()
+        vc.tick(3)
+    wall = time.perf_counter() - t0
+    return n_ticks / wall if wall > 0 else float("inf")
+
+
 def run_micro() -> Dict[str, float]:
     """All microbenchmarks (ops/second each)."""
     return {
         "event_spin_per_sec": calibrate_spin(),
         "notice_apply_per_sec": micro_notice_apply(),
         "plan_lookup_per_sec": micro_plan_lookup(),
+        "diff_apply_per_sec": micro_diff_apply(),
+        "vc_tick_per_sec": micro_vc_tick(),
     }
 
 
@@ -264,6 +315,47 @@ def run_parallel_check(
 
 
 # ---------------------------------------------------------------------------
+# observability-identity check: obs on vs off must not change the model
+# ---------------------------------------------------------------------------
+def run_obs_identity_check(quick: bool = True) -> Dict:
+    """Run each scenario with observability off and on; compare outputs.
+
+    The obs layer records spans and counters *about* the simulation; it
+    must never perturb the simulation itself.  This executes every
+    perfbench scenario twice — once uninstrumented, once with a live
+    :class:`~repro.obs.Registry` — and compares the canonical JSON of the
+    two :class:`~repro.exec.ScenarioResult`\\ s (modelled runtime, traffic,
+    event/message/page/diff counts).  Any difference is a leak of the
+    instrumentation into the model.
+    """
+    from ..exec.pool import execute_spec
+    from ..exec.result import ScenarioResult
+    from ..obs import Registry
+
+    def canonical(spec) -> str:
+        exp, _ = execute_spec(spec)
+        return ScenarioResult.from_experiment(
+            exp, events=exp.runtime.sim.events_executed
+        ).to_json()
+
+    def canonical_obs(spec) -> str:
+        obs = Registry()
+        exp, _ = execute_spec(spec, obs=obs)
+        return ScenarioResult.from_experiment(
+            exp, events=exp.runtime.sim.events_executed
+        ).to_json()
+
+    checked = []
+    mismatches = []
+    for scenario in scenarios(quick=quick):
+        checked.append(scenario.name)
+        if canonical(scenario.spec) != canonical_obs(scenario.spec):
+            mismatches.append(scenario.name)
+    return {"scenarios": checked, "mismatches": mismatches,
+            "identical": not mismatches}
+
+
+# ---------------------------------------------------------------------------
 # the full report + regression gate
 # ---------------------------------------------------------------------------
 def run_perfbench(
@@ -288,6 +380,8 @@ def run_perfbench(
         "event_spin_per_sec": spin,
         "notice_apply_per_sec": micro_notice_apply(),
         "plan_lookup_per_sec": micro_plan_lookup(),
+        "diff_apply_per_sec": micro_diff_apply(),
+        "vc_tick_per_sec": micro_vc_tick(),
     }
     scen = scenarios(quick=quick, paper=paper)
     outcome = sweep(

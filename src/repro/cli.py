@@ -251,6 +251,10 @@ def cmd_report(args) -> int:
         "adapt.leaver_owned_pages": "leaver-owned pages",
         "adapt.page_map_bytes": "page-location-map bytes shipped",
         "migration.image_bytes": "migration image bytes",
+        "dsm.diff.created": "diffs encoded",
+        "dsm.diff.fetched": "diffs fetched and applied",
+        "dsm.diff.bytes": "dirty bytes applied from diffs",
+        "dsm.diff.squashes": "multi-diff fetches squashed",
     }
     for key, desc in interesting.items():
         if bd.counters.get(key):
@@ -469,8 +473,23 @@ def cmd_perfbench(args) -> int:
         from .exec import ResultCache
 
         cache = ResultCache(root=args.cache_dir)
+    baseline_path = args.baseline
+    max_regression = args.max_regression
+    if args.compare:
+        if baseline_path and baseline_path != args.compare:
+            print("--compare and --baseline name different files",
+                  file=sys.stderr)
+            return 2
+        baseline_path = args.compare
+        if max_regression is None:
+            max_regression = 0.20
+    if max_regression is None:
+        max_regression = 0.30
+    repeat = args.repeat
+    if repeat is None:
+        repeat = 3 if args.quick else 1
     report = run_perfbench(
-        quick=args.quick, paper=args.paper, repeat=args.repeat,
+        quick=args.quick, paper=args.paper, repeat=repeat,
         jobs=args.jobs, cache=cache, refresh=args.refresh,
         parallel_check=args.parallel,
     )
@@ -492,7 +511,9 @@ def cmd_perfbench(args) -> int:
     ))
     micro = report["micro"]
     print(f"  micro: notice apply {micro['notice_apply_per_sec'] / 1e3:.0f}k/s, "
-          f"plan lookup {micro['plan_lookup_per_sec'] / 1e3:.0f}k/s")
+          f"plan lookup {micro['plan_lookup_per_sec'] / 1e3:.0f}k/s, "
+          f"diff apply {micro['diff_apply_per_sec'] / 1e3:.0f}k/s, "
+          f"vc tick {micro['vc_tick_per_sec'] / 1e3:.0f}k/s")
     if report.get("cache"):
         c = report["cache"]
         print(f"  cache: {c['hits']} hits, {c['misses']} misses, "
@@ -503,23 +524,36 @@ def cmd_perfbench(args) -> int:
               f"serial {p['serial_wall_seconds']:.2f}s vs parallel "
               f"{p['parallel_wall_seconds']:.2f}s -> {p['speedup']:.2f}x "
               f"(results identical: {p['identical']})")
+    if args.check_obs:
+        from .bench.perf import run_obs_identity_check
+
+        check = run_obs_identity_check(quick=args.quick)
+        report["obs_identity"] = check
+        if check["identical"]:
+            print(f"  obs identity: {len(check['scenarios'])} scenarios "
+                  "bitwise identical with observability on and off")
+        else:
+            print(f"  OBS LEAK: observability changed the simulated outputs "
+                  f"of {', '.join(check['mismatches'])}", file=sys.stderr)
     write_report(report, args.out)
     print(f"  report written to {args.out}")
-    if args.baseline:
+    if args.check_obs and not report["obs_identity"]["identical"]:
+        return 1
+    if baseline_path:
         try:
-            baseline = load_report(args.baseline)
+            baseline = load_report(baseline_path)
         except OSError as err:
-            print(f"cannot read baseline {args.baseline!r}: {err}", file=sys.stderr)
+            print(f"cannot read baseline {baseline_path!r}: {err}", file=sys.stderr)
             return 2
-        regressions = compare_to_baseline(report, baseline, args.max_regression)
+        regressions = compare_to_baseline(report, baseline, max_regression)
         if regressions:
             for name, old, new, drop in regressions:
                 print(f"  REGRESSION {name}: normalized score {old:.4f} -> {new:.4f} "
-                      f"({drop:.0%} drop > {args.max_regression:.0%} allowed)",
+                      f"({drop:.0%} drop > {max_regression:.0%} allowed)",
                       file=sys.stderr)
             return 1
-        print(f"  no regression vs {args.baseline} "
-              f"(threshold {args.max_regression:.0%})")
+        print(f"  no regression vs {baseline_path} "
+              f"(threshold {max_regression:.0%})")
     return 0
 
 
@@ -655,20 +689,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="small scenarios for CI smoke runs")
     perf.add_argument("--paper", action="store_true",
                       help="also run the full Table-1 Jacobi configuration")
-    perf.add_argument("--repeat", type=int, default=1,
-                      help="repetitions per scenario (best wall time wins)")
+    perf.add_argument("--repeat", type=int, default=None,
+                      help="repetitions per scenario (best wall time wins; "
+                           "default 1, or 3 with --quick so the CI perf "
+                           "gate measures best-of-3 rather than one noisy "
+                           "sample)")
     perf.add_argument("--out", default="BENCH_perf.json",
                       help="where to write the JSON report")
     perf.add_argument("--baseline", default=None,
                       help="baseline BENCH_perf.json to gate against")
-    perf.add_argument("--max-regression", type=float, default=0.30,
-                      help="allowed normalized-score drop vs the baseline")
+    perf.add_argument("--compare", metavar="FILE", default=None,
+                      help="regression gate: compare normalized scores "
+                           "against FILE and exit non-zero on a >20%% drop "
+                           "(shorthand for --baseline FILE "
+                           "--max-regression 0.20)")
+    perf.add_argument("--max-regression", type=float, default=None,
+                      help="allowed normalized-score drop vs the baseline "
+                           "(default 0.30, or 0.20 with --compare)")
     perf.add_argument("--cache", action="store_true",
                       help="replay scenario entries from the result cache "
                            "(off by default: perfbench measures wall clock)")
     perf.add_argument("--parallel", action="store_true",
                       help="also measure the engine's --jobs speedup "
                            "(serial vs worker pool, bitwise-compared)")
+    perf.add_argument("--check-obs", action="store_true",
+                      help="also rerun every scenario with observability "
+                           "enabled and exit non-zero unless the simulated "
+                           "outputs are bitwise identical to the "
+                           "uninstrumented run")
     _add_engine_args(perf, cache_default_on=False)
     perf.set_defaults(fn=cmd_perfbench)
 

@@ -240,6 +240,14 @@ class PerfParams:
     #: hence off by default for paper fidelity.
     bulk_fetch: bool = False
 
+    #: Coalesce multiple same-page diffs at fetch time into one pre-merged
+    #: scatter (last-writer-wins in happens-before order) instead of
+    #: applying them sequentially.  Bitwise identical to the sequential
+    #: path — same ranges, wire sizes, and message counts; only the host
+    #: work to apply them changes.  The off position is the reference
+    #: implementation the identity tests compare against.
+    diff_squash: bool = True
+
     def validate(self) -> None:
         if self.plan_cache_capacity < 1:
             raise ConfigurationError("plan_cache_capacity must be >= 1")

@@ -44,7 +44,7 @@ class BarrierManager:
         if proc is not self.master:
             raise ProtocolError("arrive_local must be called by the master")
         self._local_done = self.master.sim.signal(f"barrier{self.round}.master")
-        self._record(proc.pid, notices, proc.vc.copy(), want_gc)
+        self._record(proc.pid, notices, proc.vc.snapshot(), want_gc)
         return self._local_done
 
     def on_arrive(self, msg: Message) -> None:
@@ -95,7 +95,7 @@ class BarrierManager:
                 {
                     "round": this_round,
                     "notices": notices,
-                    "vc": master.vc.copy(),
+                    "vc": master.vc.snapshot(),
                     "gc": do_gc,
                 },
                 size=size,

@@ -11,16 +11,25 @@ remote processes invalidate the named pages and fetch diffs on demand.
 All of this bookkeeping is exactly what garbage collection (§4.1) wipes:
 after a GC every page is valid somewhere with a known owner and no
 interval/notice/diff state survives, which is what makes adaptation cheap.
+
+Diff payloads are stored *contiguously*: one uint8 buffer holding every
+changed byte, plus an int64 ``(starts, ends, offsets)`` index derived from
+``ranges``.  Application is a single scatter (or a short run of slice
+assignments for few-range diffs) instead of a Python loop over chunk
+objects, and several same-page diffs can be squashed into one scatter by
+concatenating their position/value arrays (see
+:func:`repro.dsm.diffs.apply_diffs_in_order`).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .ranges import Range, diff_wire_size, total_bytes
+from .ranges import RUN_HEADER_BYTES, Range, total_bytes
 from .vectorclock import VectorClock
 
 
@@ -29,8 +38,10 @@ class Diff:
     """The encoded writes of one interval to one page.
 
     ``ranges`` always holds the dirty byte ranges (exact in both modes);
-    ``data`` additionally holds the real bytes in materialized mode as a
-    list parallel to ``ranges``.
+    ``buf`` additionally holds the real bytes in materialized mode — all
+    changed bytes concatenated in range order into one contiguous uint8
+    array.  ``dirty_bytes``/``wire_size`` are computed once at
+    construction (they sit on the DIFF_REQ/REPLY accounting hot path).
     """
 
     proc: int
@@ -38,27 +49,102 @@ class Diff:
     page: int
     vc: VectorClock
     ranges: List[Range]
-    data: Optional[List[np.ndarray]] = None
+    buf: Optional[np.ndarray] = None
+    dirty_bytes: int = field(default=-1, compare=False)
+    wire_size: int = field(default=-1, compare=False)
+    _index: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _positions: Optional[np.ndarray] = field(default=None, init=False, repr=False, compare=False)
+    _key: Optional[tuple] = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.dirty_bytes < 0:
+            buf = self.buf
+            if buf is not None:
+                self.dirty_bytes = int(buf.size)
+            elif len(self.ranges) == 1:
+                # Traced single-run diffs dominate interval closes; skip
+                # the generator expression inside total_bytes for them.
+                s, e = self.ranges[0]
+                self.dirty_bytes = e - s
+            else:
+                self.dirty_bytes = total_bytes(self.ranges)
+        if self.wire_size < 0:
+            self.wire_size = self.dirty_bytes + RUN_HEADER_BYTES * len(self.ranges)
 
     @property
-    def dirty_bytes(self) -> int:
-        return total_bytes(self.ranges)
+    def data(self) -> Optional[List[np.ndarray]]:
+        """Per-range views of the payload (compatibility accessor).
 
-    @property
-    def wire_size(self) -> int:
-        """Bytes this diff occupies in a DIFF_REPLY message."""
-        return diff_wire_size(self.ranges)
+        The storage is the contiguous ``buf``; this slices it back into
+        the historical list-of-chunks shape.  ``None`` for traced diffs.
+        """
+        if self.buf is None:
+            return None
+        out = []
+        off = 0
+        for start, end in self.ranges:
+            ln = end - start
+            out.append(self.buf[off : off + ln])
+            off += ln
+        return out
+
+    def index(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(starts, ends, offsets)`` int64 arrays; ``offsets[i]`` is the
+        position of range ``i``'s first byte within ``buf``.  Cached."""
+        idx = self._index
+        if idx is None:
+            n = len(self.ranges)
+            starts = np.empty(n, dtype=np.int64)
+            ends = np.empty(n, dtype=np.int64)
+            for i, (s, e) in enumerate(self.ranges):
+                starts[i] = s
+                ends[i] = e
+            offsets = np.empty(n, dtype=np.int64)
+            if n:
+                offsets[0] = 0
+                np.cumsum(ends[:-1] - starts[:-1], out=offsets[1:])
+            idx = self._index = (starts, ends, offsets)
+        return idx
+
+    def positions(self) -> np.ndarray:
+        """Flat page offsets of every dirty byte, in range order.  Cached;
+        parallel to ``buf`` so ``page[positions()] = buf`` applies the diff."""
+        pos = self._positions
+        if pos is None:
+            starts, ends, offsets = self.index()
+            lens = ends - starts
+            total = self.dirty_bytes
+            # positions = for each range, start + [0..len): one vectorized
+            # arange shifted per-range by (start - offset_into_buf).
+            pos = np.arange(total, dtype=np.int64)
+            if len(self.ranges) > 1 or (len(self.ranges) == 1 and starts[0] != 0):
+                pos += np.repeat(starts - offsets, lens)
+            self._positions = pos
+        return pos
 
     def apply(self, page_buffer: np.ndarray) -> None:
         """Write the diff's bytes into a page-sized uint8 buffer."""
-        if self.data is None:
+        buf = self.buf
+        if buf is None:
             raise ValueError("cannot apply a traced-mode diff to real data")
-        for (start, end), chunk in zip(self.ranges, self.data):
-            page_buffer[start:end] = chunk
+        ranges = self.ranges
+        if len(ranges) <= 8:
+            off = 0
+            for start, end in ranges:
+                ln = end - start
+                page_buffer[start:end] = buf[off : off + ln]
+                off += ln
+        else:
+            page_buffer[self.positions()] = buf
 
     def sort_key(self):
-        """Happens-before-consistent application order."""
-        return (*self.vc.sort_key(), self.proc, self.seq)
+        """Happens-before-consistent application order (cached)."""
+        key = self._key
+        if key is None:
+            key = self._key = (*self.vc.sort_key(), self.proc, self.seq)
+        return key
 
 
 @dataclass(slots=True)
@@ -96,11 +182,19 @@ class IntervalRecord:
 
 
 class IntervalLog:
-    """Per-process store of closed intervals for the current GC epoch."""
+    """Per-process store of closed intervals for the current GC epoch.
+
+    Besides the primary seq -> record map, the log keeps a per-page index
+    of the (seq-ascending) intervals that wrote each page, so diff lookups
+    for a seq window bisect a short page-local list instead of probing
+    every seq in the window.
+    """
 
     def __init__(self, proc: int):
         self.proc = proc
         self._by_seq: Dict[int, IntervalRecord] = {}
+        #: page id -> ascending [(seq, record), ...] of intervals writing it.
+        self._by_page: Dict[int, List[Tuple[int, IntervalRecord]]] = {}
 
     def __len__(self) -> int:
         return len(self._by_seq)
@@ -109,19 +203,41 @@ class IntervalLog:
         if record.seq in self._by_seq:
             raise ValueError(f"duplicate interval seq {record.seq} for proc {self.proc}")
         self._by_seq[record.seq] = record
+        by_page = self._by_page
+        entry = (record.seq, record)
+        for page in record.write_ranges:
+            bucket = by_page.get(page)
+            if bucket is None:
+                by_page[page] = [entry]
+            elif bucket[-1][0] < record.seq:
+                bucket.append(entry)
+            else:
+                insort(bucket, entry, key=lambda item: item[0])
 
     def get(self, seq: int) -> IntervalRecord:
         return self._by_seq[seq]
 
+    def records_for(
+        self, page: int, from_seq_exclusive: int, to_seq_inclusive: int
+    ) -> List[IntervalRecord]:
+        """Intervals that wrote ``page`` with seq in ``(from, to]`` (ascending)."""
+        bucket = self._by_page.get(page)
+        if not bucket:
+            return []
+        lo = bisect_right(bucket, from_seq_exclusive, key=lambda item: item[0])
+        hi = bisect_left(bucket, to_seq_inclusive + 1, key=lambda item: item[0])
+        return [rec for _, rec in bucket[lo:hi]]
+
     def diffs_for(self, page: int, from_seq_exclusive: int, to_seq_inclusive: int) -> List[Diff]:
         """All diffs of ``page`` in intervals ``(from, to]`` (ascending seq)."""
         out = []
-        for seq in range(from_seq_exclusive + 1, to_seq_inclusive + 1):
-            rec = self._by_seq.get(seq)
-            if rec is not None and page in rec.diffs:
-                out.append(rec.diffs[page])
+        for rec in self.records_for(page, from_seq_exclusive, to_seq_inclusive):
+            diff = rec.diffs.get(page)
+            if diff is not None:
+                out.append(diff)
         return out
 
     def clear(self) -> None:
         """Drop everything (garbage collection)."""
         self._by_seq.clear()
+        self._by_page.clear()

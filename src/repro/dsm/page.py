@@ -110,10 +110,14 @@ class PageTableEntry:
     def prune_pending(self) -> None:
         """Drop pending notices now covered by the applied clock."""
         applied = self.applied
-        if applied is None:
+        pending = self.pending
+        if applied is None or not pending:
             return
         entries = applied.entries
-        self.pending = [n for n in self.pending if entries[n.proc] < n.seq]
+        kept = [n for n in pending if entries[n.proc] < n.seq]
+        if len(kept) == len(pending):
+            return  # nothing covered: pending (and its indexes) unchanged
+        self.pending = kept
         self._reindex_pending()
 
     def clear_pending(self) -> None:
@@ -155,7 +159,14 @@ class PageTable:
     def map_page(
         self, page: int, protocol: Protocol, owner: int, valid: bool, width: int
     ) -> PageTableEntry:
-        """Create (or reset) the entry for ``page``."""
+        """Create (or reset) the entry for ``page``.
+
+        Page ids must fit the packed ``(seq << 21) | page`` notice-bucket
+        keys of the consistency engine (2**21 pages = 8 GB of shared
+        segments at the default page size — far beyond any simulated NOW).
+        """
+        if page >= 1 << 21:
+            raise DsmError(f"{self.proc_name}: page id {page} exceeds 2**21 - 1")
         pte = PageTableEntry(
             page=page,
             protocol=protocol,

@@ -36,7 +36,7 @@ PlanKey = Tuple[int, Tuple[Range, ...], Tuple[Range, ...], int]
 class AccessPlan:
     """Precomputed page set and per-page write ranges for one access."""
 
-    __slots__ = ("pages", "write_ranges")
+    __slots__ = ("pages", "write_ranges", "steps")
 
     def __init__(
         self,
@@ -48,6 +48,14 @@ class AccessPlan:
         #: page -> normalized page-local write ranges (read-only; copy
         #: before mutating).
         self.write_ranges = write_ranges
+        #: ``(page, is_write, write_ranges_or_None)`` — the same walk with
+        #: the per-page range list pre-joined, so the access fast path
+        #: does one tuple unpack instead of a dict lookup per written
+        #: page.  The lists are the ``write_ranges`` values themselves:
+        #: read-only by the same contract.
+        self.steps: Tuple[Tuple[int, bool, List[Range] | None], ...] = tuple(
+            (page, is_write, write_ranges.get(page)) for page, is_write in pages
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<AccessPlan pages={len(self.pages)}>"

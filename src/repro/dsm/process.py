@@ -17,8 +17,7 @@ The main computation drives the engine through:
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
-from operator import itemgetter
+from bisect import bisect_left
 from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -28,7 +27,7 @@ from ..errors import DsmError, NetworkError, ProtocolError
 from ..network import message as mk
 from ..network.message import Message
 from ..simcore import Channel, Simulator, Store
-from .diffs import make_diff
+from .diffs import apply_diffs_in_order, make_diff
 from .intervals import Diff, IntervalLog, IntervalRecord, WriteNotice
 from .memory import AddressSpace, LocalStore, SharedSegment
 from .page import AccessMode, PageTable, PageTableEntry, Protocol
@@ -38,8 +37,13 @@ from .statistics import DsmStats
 from .team import TeamView
 from .vectorclock import VectorClock
 
-#: Sort/bisect key of the per-writer notice buckets: (seq, page).
-_SEQ_PAGE = itemgetter(0, 1)
+#: Bits reserved for the page id in the packed (seq, page) bucket keys:
+#: ``key = (seq << _PAGE_BITS) | page``.  One int compare then orders
+#: notices by (seq, page) with no per-notice tuple construction — the
+#: dominant cost of the old triple-keyed ``seen`` dict.  Page ids are
+#: bounded at map time (:meth:`PageTable.map_page`); seqs above 2**21 pack
+#: into larger ints with ordering intact, so only the page bound matters.
+_PAGE_BITS = 21
 
 #: Message kinds routed to the main coroutine rather than a handler.
 MAIN_KINDS = frozenset(
@@ -73,11 +77,13 @@ class DsmProcess:
         self.vc = VectorClock.zeros(team.nprocs)
         self.log = IntervalLog(pid)
         self.epoch = 0
-        #: (proc, seq, page) -> WriteNotice; everything known this epoch.
-        self.seen: Dict[Tuple[int, int, int], WriteNotice] = {}
-        #: Per-writer index of the same notices, ordered by seq, so that
-        #: "everything newer than vc[w]" is a bisect instead of a scan.
-        self._seen_by_proc: Dict[int, List[Tuple[int, int, WriteNotice]]] = {}
+        #: Per-writer index of every notice known this epoch, as parallel
+        #: lists ``(keys, notices)`` sorted by the packed
+        #: ``(seq << _PAGE_BITS) | page`` key.  This is both the dedupe
+        #: structure (membership is one int compare against the tail, or a
+        #: key-free C-level bisect on out-of-order arrival) and the
+        #: "everything newer than vc[w]" index (a bisect + slice).
+        self._seen_by_proc: Dict[int, Tuple[List[int], List[WriteNotice]]] = {}
         #: page -> dirty ranges of the *open* interval.
         self.current_writes: Dict[int, List[Range]] = {}
         #: page -> owner pid overrides (default: segment home).
@@ -89,6 +95,7 @@ class DsmProcess:
         # opt-in bulk-fetch protocol extension, and wire-size constants.
         self._plan_cache_enabled = cfg.perf.plan_cache
         self._bulk_fetch = cfg.perf.bulk_fetch
+        self._diff_squash = cfg.perf.diff_squash
         space.plan_cache.capacity = cfg.perf.plan_cache_capacity
         self._notice_bytes = cfg.dsm.write_notice_bytes
         self._vc_bytes: Tuple[int, int] = (-1, 0)  # (vc width, cached bytes)
@@ -236,12 +243,16 @@ class DsmProcess:
 
     def _server_loop(self) -> Generator:
         inbox = self.node.nic.inbox
+        # Only take messages addressed to this process (or to the node
+        # as a whole) — two multiplexed processes share one NIC.  One
+        # shared match closure (building one per message is measurable);
+        # it must read ``self.pid`` dynamically — adaptation renumbers
+        # pids while the loop is parked on a recv.
+        match = (
+            lambda m, s=self: m.dst_pid is None or m.dst_pid == s.pid
+        )  # noqa: E731
         while True:
-            # Only take messages addressed to this process (or to the node
-            # as a whole) — two multiplexed processes share one NIC.
-            msg = yield inbox.recv(
-                match=lambda m: m.dst_pid is None or m.dst_pid == self.pid
-            )
+            msg = yield inbox.recv(match=match)
             if msg.kind in MAIN_KINDS:
                 self.main_inbox.put(msg)
             elif msg.kind == mk.BARRIER_ARRIVE:
@@ -331,7 +342,9 @@ class DsmProcess:
             data = self.store.page_view(page).copy()
         payload = {
             "page": page,
-            "applied": pte.applied.copy(),
+            # Frozen snapshot: retransmissions of this reply must carry the
+            # clock value at send time, and COW mutators guarantee it.
+            "applied": pte.applied.snapshot(),
             "data": data,
         }
         size = self.cfg.dsm.page_size + self.vc_wire_bytes
@@ -353,7 +366,7 @@ class DsmProcess:
                 raise ProtocolError(
                     f"{self.name}: asked for page {page} but holds no valid copy"
                 )
-            applied.append(pte.applied.copy())
+            applied.append(pte.applied.snapshot())
             data.append(self.store.page_view(page).copy() if self.materialized else None)
         n = len(pages)
         yield from self.node.service(n * self.cfg.network.page_service_server)
@@ -377,10 +390,13 @@ class DsmProcess:
         to_seq = msg.payload["to_seq"]
         self._encode_lazy_diffs(page, from_seq, to_seq)
         diffs = self.log.diffs_for(page, from_seq, to_seq)
-        dirty = sum(d.dirty_bytes for d in diffs)
+        dirty = 0
+        size = 4
+        for d in diffs:
+            dirty += d.dirty_bytes
+            size += d.wire_size
         cost = self.cfg.network.diff_fixed + dirty * self.cfg.network.diff_per_byte
         yield from self.node.service(cost)
-        size = sum(d.wire_size for d in diffs) + 4
         self.node.nic.send(
             msg.reply(
                 mk.DIFF_REPLY,
@@ -398,24 +414,27 @@ class DsmProcess:
         exact, and later intervals' diffs overwrite in apply order, so the
         reader converges to the same bytes.
         """
-        for seq in range(from_seq + 1, to_seq + 1):
-            try:
-                rec = self.log.get(seq)
-            except KeyError:
-                continue
-            if page not in rec.write_ranges or page in rec.diffs:
+        created = 0
+        for rec in self.log.records_for(page, from_seq, to_seq):
+            if page in rec.diffs:
                 continue
             diff = make_diff(
                 proc=self.pid,
-                seq=seq,
+                seq=rec.seq,
                 page=page,
                 vc=rec.vc,
                 declared_ranges=rec.write_ranges[page],
                 current=self.store.page_view(page) if self.materialized else None,
+                vc_is_snapshot=True,
             )
             if diff is not None:
                 rec.diffs[page] = diff
-                self.stats.diffs_created += 1
+                created += 1
+        if created:
+            self.stats.diffs_created += created
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.count("dsm.diff.created", created)
 
     # ------------------------------------------------------------------
     # page ownership and notices
@@ -452,12 +471,8 @@ class DsmProcess:
         proc = notice.proc
         seq = notice.seq
         page = notice.page
-        seen = self.seen
-        key = (proc, seq, page)
-        if key in seen:
-            return
-        seen[key] = notice
-        self._index_notice(notice)
+        if not self._index_notice(notice):
+            return  # duplicate delivery (e.g. a lock grant overlapping a barrier)
         if proc == self.pid:
             return
         pte = self.table.get(page)
@@ -479,58 +494,91 @@ class DsmProcess:
         hundreds of notices (the master re-broadcasts every slave's
         notices at each barrier), making this the engine's hottest loop.
         Behaviour is identical; the inline path may merely skip the
-        per-entry ``_pending_keys`` bookkeeping because the ``seen`` check
+        per-entry ``_pending_keys`` bookkeeping because the bucket dedupe
         already guarantees a (proc, seq, page) triple is applied at most
         once (``prune_pending`` rebuilds the key set from ``pending``).
+
+        Dedupe and indexing are one operation: each writer's bucket is
+        sorted by the packed ``(seq << _PAGE_BITS) | page`` key, batches
+        arrive per-writer in that order, so freshness is a single int
+        compare against the bucket tail (bisect on the rare out-of-order
+        delivery).
         """
-        seen = self.seen
+        if type(notices) is not list:
+            notices = list(notices)
         seen_by_proc = self._seen_by_proc
         table_entries = self.table._entries
         my_pid = self.pid
         mw = Protocol.MULTIPLE_WRITER
         mode_none = AccessMode.NONE
-        last_proc = -1
-        bucket: List = []
-        for n in notices:
-            proc = n.proc
-            seq = n.seq
-            page = n.page
-            key = (proc, seq, page)
-            if key in seen:
-                continue
-            seen[key] = n
-            # inline _index_notice (batches arrive sorted per writer, so
-            # the append branch is the norm)
-            if proc != last_proc:
-                bucket = seen_by_proc.get(proc)
-                if bucket is None:
-                    bucket = seen_by_proc[proc] = []
-                last_proc = proc
-            if bucket:
-                last = bucket[-1]
-                if seq > last[0] or (seq == last[0] and page >= last[1]):
-                    bucket.append((seq, page, n))
-                else:
-                    insort(bucket, (seq, page, n), key=_SEQ_PAGE)
+        n_total = len(notices)
+        i = 0
+        while i < n_total:
+            # One per-writer run of the batch (senders emit bucket slices,
+            # so runs are long: every notice of one writer in one go).
+            proc = notices[i].proc
+            j = i + 1
+            while j < n_total and notices[j].proc == proc:
+                j += 1
+            run = notices[i:j]
+            i = j
+            run_keys = [(n.seq << _PAGE_BITS) | n.page for n in run]
+            pair = seen_by_proc.get(proc)
+            if pair is None:
+                pair = seen_by_proc[proc] = ([], [])
+            keys, bucket = pair
+            prev_key = keys[-1] if keys else -1
+            ordered = run_keys[0] > prev_key
+            if ordered:
+                for key in run_keys:
+                    if key <= prev_key:
+                        ordered = False
+                        break
+                    prev_key = key
+            if ordered:
+                # Strictly ascending past the bucket tail (the normal
+                # delivery): index the whole run with two C-level extends
+                # and apply every notice — nothing can be a duplicate.
+                keys.extend(run_keys)
+                bucket.extend(run)
+                fresh = run
             else:
-                bucket.append((seq, page, n))
+                # Out-of-order or duplicate delivery (lock grants can
+                # overlap barrier broadcasts): per-notice bisect dedupe.
+                fresh = []
+                last_key = keys[-1] if keys else -1
+                for n, key in zip(run, run_keys):
+                    if key > last_key:
+                        keys.append(key)
+                        bucket.append(n)
+                        last_key = key
+                    else:
+                        k = bisect_left(keys, key)
+                        if k < len(keys) and keys[k] == key:
+                            continue
+                        keys.insert(k, key)
+                        bucket.insert(k, n)
+                    fresh.append(n)
             if proc == my_pid:
                 continue
-            pte = table_entries.get(page)
-            if pte is None:
-                pte = self._pte(page)
-            if pte.protocol is mw:
-                # inline pte.add_notice for the multiple-writer case
-                if pte.applied.entries[proc] >= seq:
-                    continue
-                pte.pending.append(n)
-                by_writer = pte.pending_by_writer
-                prev = by_writer.get(proc)
-                if prev is None or seq > prev:
-                    by_writer[proc] = seq
-                pte.mode = mode_none
-            else:
-                self._apply_notice_single_writer(n, pte, proc, seq, page)
+            for n in fresh:
+                seq = n.seq
+                page = n.page
+                pte = table_entries.get(page)
+                if pte is None:
+                    pte = self._pte(page)
+                if pte.protocol is mw:
+                    # inline pte.add_notice for the multiple-writer case
+                    if pte.applied.entries[proc] >= seq:
+                        continue
+                    pte.pending.append(n)
+                    by_writer = pte.pending_by_writer
+                    prev = by_writer.get(proc)
+                    if prev is None or seq > prev:
+                        by_writer[proc] = seq
+                    pte.mode = mode_none
+                else:
+                    self._apply_notice_single_writer(n, pte, proc, seq, page)
         self.vc.merge(sender_vc)
 
     def _apply_notice_single_writer(
@@ -555,18 +603,29 @@ class DsmProcess:
             pte.owner = proc
             self.owners[page] = proc
 
-    def _index_notice(self, notice: WriteNotice) -> None:
-        seq = notice.seq
-        page = notice.page
-        bucket = self._seen_by_proc.get(notice.proc)
-        if bucket is None:
-            self._seen_by_proc[notice.proc] = [(seq, page, notice)]
-            return
-        last = bucket[-1]
-        if seq > last[0] or (seq == last[0] and page >= last[1]):
-            bucket.append((seq, page, notice))
-        else:
-            insort(bucket, (seq, page, notice), key=_SEQ_PAGE)
+    def _index_notice(self, notice: WriteNotice) -> bool:
+        """Insert into the per-writer bucket; False if already known."""
+        key = (notice.seq << _PAGE_BITS) | notice.page
+        pair = self._seen_by_proc.get(notice.proc)
+        if pair is None:
+            self._seen_by_proc[notice.proc] = ([key], [notice])
+            return True
+        keys, bucket = pair
+        if key > keys[-1]:
+            keys.append(key)
+            bucket.append(notice)
+            return True
+        i = bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key:
+            return False
+        keys.insert(i, key)
+        bucket.insert(i, notice)
+        return True
+
+    def _known_notices(self) -> Iterable[WriteNotice]:
+        """Every notice known this epoch (any writer, bucket order)."""
+        for _, bucket in self._seen_by_proc.values():
+            yield from bucket
 
     def notices_unknown_to(self, other_vc: VectorClock) -> List[WriteNotice]:
         """All epoch notices this process knows that ``other_vc`` does not cover."""
@@ -574,13 +633,12 @@ class DsmProcess:
         entries = other_vc.entries
         width = other_vc.width
         for proc in sorted(self._seen_by_proc):
-            bucket = self._seen_by_proc[proc]
-            floor = entries[proc] if proc < width else 0
-            if bucket[-1][0] <= floor:
-                continue  # whole bucket already covered
-            # first entry with seq > floor (pages sort after -1)
-            start = bisect_left(bucket, (floor + 1, -1), key=_SEQ_PAGE)
-            out.extend(entry[2] for entry in bucket[start:])
+            keys, bucket = self._seen_by_proc[proc]
+            floor_key = (entries[proc] + 1) << _PAGE_BITS if proc < width else 1 << _PAGE_BITS
+            if keys[-1] < floor_key:
+                continue  # whole bucket already covered (last seq <= floor)
+            # first entry with seq > floor (page bits zero sort lowest)
+            out.extend(bucket[bisect_left(keys, floor_key) :])
         return out
 
     # ------------------------------------------------------------------
@@ -612,32 +670,44 @@ class DsmProcess:
         if self._bulk_fetch:
             yield from self._bulk_fetch_pages(plan)
         current_writes = self.current_writes
-        write_ranges = plan.write_ranges
-        table_get = self.table.get
+        table_get = self.table._entries.get
         epoch = self.epoch
         mode_none = AccessMode.NONE
-        for page, is_write in plan.pages:
-            if self.stall_hook is not None:
-                yield from self.stall_hook()
+        mode_write = AccessMode.WRITE
+        stall = self.stall_hook
+        for page, is_write, wr in plan.steps:
+            if stall is not None:
+                yield from stall()
             # Fast path: a valid, up-to-date copy needs no fault — skip
             # the _ensure_access generator machinery entirely.
             pte = table_get(page)
             if pte is None or not pte.valid or pte.pending:
                 yield from self._ensure_access(page, write=is_write)
-            else:
-                pte.last_access_epoch = epoch
                 if is_write:
-                    self._prepare_write(pte)
-                elif pte.mode is mode_none:
-                    pte.mode = AccessMode.READ
+                    prev = current_writes.get(page)
+                    if prev:
+                        current_writes[page] = merge(prev, wr)
+                    else:
+                        current_writes[page] = list(wr)
+                continue
+            pte.last_access_epoch = epoch
             if is_write:
                 prev = current_writes.get(page)
                 if prev:
-                    current_writes[page] = merge(prev, write_ranges[page])
+                    # Repeat write in the same interval: the twin/owner
+                    # work of _prepare_write already happened (mode WRITE
+                    # implies it ran and nothing reset it since).
+                    if pte.mode is not mode_write:
+                        self._prepare_write(pte)
+                    if prev != wr:
+                        current_writes[page] = merge(prev, wr)
                 else:
                     # First write of the interval to this page: the plan's
                     # normalized ranges are exactly merge([], ranges).
-                    current_writes[page] = list(write_ranges[page])
+                    self._prepare_write(pte)
+                    current_writes[page] = list(wr)
+            elif pte.mode is mode_none:
+                pte.mode = AccessMode.READ
 
     def access_batch(self, specs) -> Generator:
         """Access several segments in one region step.
@@ -776,6 +846,7 @@ class DsmProcess:
         # Incrementally maintained by PageTableEntry.add_notice — no rescan
         # of the pending list on this hot path.
         by_writer = pte.pending_by_writer
+        t_fetch = self.sim.now
         collected: List[Diff] = []
         for writer in sorted(by_writer):
             if writer == self.pid:
@@ -791,15 +862,35 @@ class DsmProcess:
             collected.extend(reply.payload["diffs"])
             self.stats.diff_requests += 1
         buffer = self.store.page_view(pte.page) if self.materialized else None
-        for diff in sorted(collected, key=lambda d: d.sort_key()):
-            if buffer is not None:
-                diff.apply(buffer)
-            pte.applied.entries[diff.proc] = max(pte.applied.entries[diff.proc], diff.seq)
+        ordered = apply_diffs_in_order(collected, buffer, squash=self._diff_squash)
+        applied = pte.applied
+        dirty = 0
+        for diff in ordered:
+            # COW-aware: ``applied`` may be shared with an in-flight
+            # PAGE_REPLY snapshot, so never poke its entries directly.
+            applied.advance(diff.proc, diff.seq)
+            dirty += diff.dirty_bytes
         # Notices may name intervals that produced no diff for this page
         # (e.g. a write of identical bytes); cover them explicitly.
         for writer, seq in by_writer.items():
-            pte.applied.entries[writer] = max(pte.applied.entries[writer], seq)
+            applied.advance(writer, seq)
         self.stats.diffs_fetched += len(collected)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.count("dsm.diff.fetched", len(collected))
+            obs.count("dsm.diff.bytes", dirty)
+            if buffer is not None and len(ordered) > 1 and self._diff_squash:
+                obs.count("dsm.diff.squashes", 1)
+            if obs.per_process:
+                obs.span(
+                    f"P{self.pid}",
+                    "dsm.diff.fetch",
+                    t_fetch,
+                    self.sim.now,
+                    category="dsm",
+                    page=pte.page,
+                    n_diffs=len(collected),
+                )
         pte.clear_pending()
 
     def _fetch_page_refresh(self, pte: PageTableEntry, from_pid: int) -> Generator:
@@ -840,12 +931,17 @@ class DsmProcess:
         self.vc.tick(self.pid)
         pid = self.pid
         seq = self.vc.entries[pid]
-        rec = IntervalRecord(proc=pid, seq=seq, vc=self.vc.copy())
+        # One frozen snapshot per interval: its notices AND its diffs all
+        # share this clock object (make_diff with vc_is_snapshot=True).
+        rec = IntervalRecord(proc=pid, seq=seq, vc=self.vc.snapshot())
+        rec_vc = rec.vc
         table_entries = self.table._entries
         write_ranges = rec.write_ranges
         diffs = rec.diffs
         mode_read = AccessMode.READ
         mw = Protocol.MULTIPLE_WRITER
+        materialized = self.materialized
+        stats = self.stats
         for page, ranges in sorted(self.current_writes.items()):
             pte = table_entries[page]
             write_ranges[page] = ranges
@@ -855,36 +951,54 @@ class DsmProcess:
             # diff is encoded lazily at the first DIFF_REQ from the
             # recorded ranges (see _serve_diff).
             if pte.protocol is mw:
-                diff = make_diff(
-                    proc=pid,
-                    seq=seq,
-                    page=page,
-                    vc=self.vc,
-                    declared_ranges=ranges,
-                    twin=pte.twin,
-                    current=self.store.page_view(page) if self.materialized else None,
-                    declared_normalized=True,
-                )
+                if materialized:
+                    diff = make_diff(
+                        proc=pid,
+                        seq=seq,
+                        page=page,
+                        vc=rec_vc,
+                        declared_ranges=ranges,
+                        twin=pte.twin,
+                        current=self.store.page_view(page),
+                        declared_normalized=True,
+                        vc_is_snapshot=True,
+                    )
+                else:
+                    # Traced mode: the declared (already-normalized)
+                    # ranges ARE the diff — make_diff would only wrap
+                    # them, so skip its dispatch on this per-page path.
+                    diff = (
+                        Diff(proc=pid, seq=seq, page=page, vc=rec_vc, ranges=ranges)
+                        if ranges
+                        else None
+                    )
                 if diff is not None:
                     diffs[page] = diff
-                    self.stats.diffs_created += 1
+                    stats.diffs_created += 1
             pte.twin = None
             pte.mode = mode_read
-            pte.applied.entries[pid] = seq
+            # seq is a fresh tick, so this is a pure advance; COW-aware
+            # because ``applied`` may be shared with a reply snapshot.
+            pte.applied.advance(pid, seq)
         self.log.add(rec)
+        if diffs:
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.count("dsm.diff.created", len(diffs))
         self.current_writes = {}
         self.stats.intervals_closed += 1
         notices = rec.notices()
         # Index our own notices directly: ``seq`` is a fresh maximum for
         # our bucket and notices() is page-ascending, so plain appends
-        # keep the (seq, page) order _index_notice would establish.
-        seen = self.seen
-        bucket = self._seen_by_proc.get(pid)
-        if bucket is None:
-            bucket = self._seen_by_proc[pid] = []
+        # keep the packed-key order _index_notice would establish.
+        pair = self._seen_by_proc.get(pid)
+        if pair is None:
+            pair = self._seen_by_proc[pid] = ([], [])
+        keys, bucket = pair
+        seq_bits = seq << _PAGE_BITS
         for n in notices:
-            seen[(pid, seq, n.page)] = n
-            bucket.append((seq, n.page, n))
+            keys.append(seq_bits | n.page)
+            bucket.append(n)
         return notices
 
     def sync_notices(self) -> List[WriteNotice]:
@@ -894,9 +1008,10 @@ class DsmProcess:
         self.close_interval()
         last_sent = self._sent_to_master_seq
         my_seq = self.vc.entries[self.pid]
-        bucket = self._seen_by_proc.get(self.pid, [])
-        start = bisect_left(bucket, (last_sent + 1, -1), key=_SEQ_PAGE)
-        out = [entry[2] for entry in bucket[start:] if entry[0] <= my_seq]
+        keys, bucket = self._seen_by_proc.get(self.pid, ((), ()))
+        start = bisect_left(keys, (last_sent + 1) << _PAGE_BITS)
+        below = (my_seq + 1) << _PAGE_BITS  # keys with seq <= my_seq
+        out = [n for k, n in zip(keys[start:], bucket[start:]) if k < below]
         self._sent_to_master_seq = my_seq
         return out
 
@@ -924,7 +1039,7 @@ class DsmProcess:
                 {
                     "pid": self.pid,
                     "notices": notices,
-                    "vc": self.vc.copy(),
+                    "vc": self.vc.snapshot(),
                     "want_gc": self.wants_gc,
                 },
                 size=size,
@@ -945,7 +1060,7 @@ class DsmProcess:
         """Make our copies of pages we will own complete (flush phase)."""
         from .gc import gc_new_owners
 
-        new_owners = gc_new_owners(self.seen.values())
+        new_owners = gc_new_owners(self._known_notices())
         for page, owner in sorted(new_owners.items()):
             if owner != self.pid:
                 continue
@@ -976,7 +1091,6 @@ class DsmProcess:
         if self.current_writes:
             raise ProtocolError(f"{self.name}: GC with an open write set")
         self.log.clear()
-        self.seen.clear()
         self._seen_by_proc.clear()
         self.vc = VectorClock.zeros(self.team.nprocs)
         self.epoch += 1
@@ -1039,7 +1153,7 @@ class DsmProcess:
         self.send(
             mk.LOCK_REQ,
             TeamView.MASTER_PID,
-            {"lock": lock_id, "pid": self.pid, "vc": self.vc.copy()},
+            {"lock": lock_id, "pid": self.pid, "vc": self.vc.snapshot()},
             size=8 + self.vc_wire_bytes,
         )
         msg = yield self.main_inbox.recv(
@@ -1071,7 +1185,7 @@ class DsmProcess:
         self.send(
             mk.LOCK_GRANT,
             requester,
-            {"lock": lock_id, "notices": notices, "vc": self.vc.copy()},
+            {"lock": lock_id, "notices": notices, "vc": self.vc.snapshot()},
             size=size,
         )
 
@@ -1142,7 +1256,7 @@ class DsmProcess:
         is the reassigned process id; ``owner_remap`` maps old owner pids to
         new ones for every page-owner reference we hold.
         """
-        if self.seen or self.current_writes or len(self.log):
+        if self._seen_by_proc or self.current_writes or len(self.log):
             raise ProtocolError(f"{self.name}: adapt_reset without a preceding GC")
         # Team membership changed: conceptually a repartition, so drop all
         # memoized access plans (they are rebuilt lazily on first use).

@@ -13,6 +13,9 @@ from typing import Iterable, List, Tuple
 
 Range = Tuple[int, int]
 
+#: Bytes charged per (offset, length) run header in a diff's wire encoding.
+RUN_HEADER_BYTES = 8
+
 
 def normalize(ranges: Iterable[Range]) -> List[Range]:
     """Sort and coalesce overlapping/adjacent ranges; drop empties."""
@@ -75,7 +78,7 @@ def intersects(a: Iterable[Range], b: Iterable[Range]) -> bool:
     return False
 
 
-def diff_wire_size(ranges: Iterable[Range], run_header_bytes: int = 8) -> int:
+def diff_wire_size(ranges: Iterable[Range], run_header_bytes: int = RUN_HEADER_BYTES) -> int:
     """Wire size of a diff covering ``ranges``.
 
     TreadMarks encodes a diff as a sequence of (offset, length, data) runs;

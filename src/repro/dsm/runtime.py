@@ -372,7 +372,7 @@ class TmkRuntime:
                 {
                     "pid": proc.pid,
                     "notices": notices,
-                    "vc": proc.vc.copy(),
+                    "vc": proc.vc.snapshot(),
                     "want_gc": proc.wants_gc,
                 },
                 size=size,
@@ -406,7 +406,7 @@ class TmkRuntime:
                     "args": args,
                     "fork_seq": self.fork_seq,
                     "notices": notices,
-                    "vc": master.vc.copy(),
+                    "vc": master.vc.snapshot(),
                     "nprocs": self.team.nprocs,
                 },
                 size=size,
@@ -419,7 +419,7 @@ class TmkRuntime:
             msg = yield master.join_store.get()
             p = msg.payload
             master.apply_notices(p["notices"], p["vc"])
-            self.slave_vcs[p["pid"]] = p["vc"].copy()
+            self.slave_vcs[p["pid"]] = p["vc"]  # frozen snapshot; no copy needed
             want_gc = want_gc or p["want_gc"]
         self.sim.tracer.emit("tmk", "join", f"#{self.fork_seq} {phase_name}")
         if obs.enabled:
@@ -447,7 +447,7 @@ class TmkRuntime:
             master.send(
                 mk.GC_REQ,
                 pid,
-                {"notices": notices, "vc": master.vc.copy()},
+                {"notices": notices, "vc": master.vc.snapshot()},
                 size=size,
             )
         yield from master.gc_flush()

@@ -71,9 +71,11 @@ class Nic:
         Requests then go through :class:`ReliableRequest` and the
         outstanding-request table filters duplicate replies.
         """
-        if self.switch.loss is not None and self.switch.loss.rate > 0:
+        switch = self.switch
+        loss = switch.loss
+        if loss is not None and loss.rate > 0:
             return True
-        faults = getattr(self.switch, "faults", None)
+        faults = switch.faults
         return faults is not None and faults.unreliable
 
     def count_retransmission(self) -> None:

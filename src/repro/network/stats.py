@@ -16,6 +16,9 @@ from typing import Optional
 
 from .message import DIFF_REPLY, PAGE_BATCH_REPLY, PAGE_REPLY, Message
 
+#: Kinds whose delivery counts one page (hoisted: record() runs per message).
+_PAGE_KINDS = (PAGE_REPLY, "sc_data")
+
 
 @dataclass
 class TrafficSnapshot:
@@ -107,7 +110,7 @@ class TrafficStats:
         s.by_kind_bytes[msg.kind] += wire
         s.per_link_bytes[uplink] += wire
         s.per_link_bytes[downlink] += wire
-        if msg.kind in (PAGE_REPLY, "sc_data"):
+        if msg.kind in _PAGE_KINDS:
             s.pages += 1
         elif msg.kind == PAGE_BATCH_REPLY:
             s.pages += int(msg.payload.get("n_pages", 1)) if isinstance(msg.payload, dict) else 1

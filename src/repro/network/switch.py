@@ -84,17 +84,36 @@ class Switch:
             self.sim.schedule(0.0, lambda: dst_nic.deliver(msg))
             return self.sim.now
 
-        wire_bytes = msg.size_bytes + self.params.header_bytes
+        params = self.params
+        size_bytes = msg.size_bytes
+        wire_bytes = size_bytes + params.header_bytes
         up = self.uplinks[msg.src]
         down = self.downlinks[msg.dst]
-        start = max(self.sim.now, up.busy_until, down.busy_until)
-        up.occupy(start, wire_bytes)
-        down.occupy(start, wire_bytes)
+        now = self.sim.now
+        up_busy = up.busy_until
+        down_busy = down.busy_until
+        start = now if now >= up_busy else up_busy
+        if down_busy > start:
+            start = down_busy
+        # Joint cut-through reservation of both links, inlined from
+        # Link.occupy (two method calls per message add up on this path;
+        # ``start`` >= both links' busy_until by construction, so the
+        # stale-start guard inside occupy is vacuous here).
+        end = start + wire_bytes * up.per_byte
+        busy = end - start
+        up.busy_until = end
+        up.busy_time += busy
+        up.bytes_carried += wire_bytes
+        up.messages_carried += 1
+        down.busy_until = end
+        down.busy_time += busy
+        down.bytes_carried += wire_bytes
+        down.messages_carried += 1
         # Latency is calibrated against the paper's 1-byte RTT of 126 µs,
         # which already includes header transmission — so only the payload
         # adds wire time here, while occupancy and traffic accounting above
         # include the header bytes.
-        arrival = start + self.params.one_way_latency + msg.size_bytes * self.params.per_byte
+        arrival = start + params.one_way_latency + size_bytes * params.per_byte
         if self.faults is not None:
             # Degraded ports add fixed latency on either endpoint's path.
             arrival += self.faults.extra_latency(msg.src, msg.dst)

@@ -4,12 +4,13 @@ The queue is a binary heap ordered by ``(time, priority, seq)``.  ``seq`` is
 a monotonically increasing counter so that events scheduled earlier run
 earlier among equals — this makes every simulation fully deterministic.
 
-:class:`Event` is deliberately not a dataclass: the heap performs millions
-of comparisons per run, so the class is slotted and the ordering is a
-hand-written ``__lt__`` over the three key fields (no per-comparison tuple
-construction).  The ordering semantics are identical to the previous
-``dataclass(order=True)`` form because ``seq`` is unique — comparisons
-never fall through to the non-key fields.
+The heap stores ``(time, priority, seq, event)`` tuples rather than the
+:class:`Event` objects themselves: the heap performs millions of
+comparisons per run and tuple comparison runs entirely in C, whereas
+comparing events directly dispatches a Python-level ``__lt__`` per sift
+step.  ``seq`` is unique, so comparisons never reach the event field.
+:class:`Event` keeps its hand-written ``__lt__`` for callers that sort
+events, with identical ordering semantics.
 """
 
 from __future__ import annotations
@@ -63,10 +64,10 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` objects."""
+    """Deterministic min-heap of ``(time, priority, seq, event)`` tuples."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._seq = itertools.count()
 
     def __len__(self) -> int:
@@ -76,15 +77,23 @@ class EventQueue:
         """Schedule ``action`` at absolute ``time`` and return the event."""
         if time != time:  # NaN guard
             raise SimulationError("event time is NaN")
-        ev = Event(time, priority, next(self._seq), action)
-        heapq.heappush(self._heap, ev)
+        seq = next(self._seq)
+        # Inline Event construction (bypassing __init__) — push runs once
+        # per scheduled event and the extra call frame is measurable.
+        ev = Event.__new__(Event)
+        ev.time = time
+        ev.priority = priority
+        ev.seq = seq
+        ev.action = action
+        ev.cancelled = False
+        heapq.heappush(self._heap, (time, priority, seq, ev))
         return ev
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next non-cancelled event, or ``None``."""
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)
+            ev = heapq.heappop(heap)[3]
             if not ev.cancelled:
                 return ev
         return None
@@ -92,6 +101,6 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event without removing it."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][3].cancelled:
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+        return heap[0][0] if heap else None

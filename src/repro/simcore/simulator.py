@@ -13,6 +13,7 @@ from typing import Any, Callable, Generator, Optional
 from ..errors import DeadlockError, SimulationError
 from ..obs.core import NULL_OBS, Registry
 from .events import EventQueue, NORMAL
+from .process import Signal, SimProcess, Timeout
 from .trace import Tracer
 
 
@@ -56,20 +57,14 @@ class Simulator:
         daemon: bool = False,
     ):
         """Start a new simulated process running ``gen``."""
-        from .process import SimProcess
-
         return SimProcess(self, gen, name=name, daemon=daemon)
 
     def timeout(self, delay: float, value: Any = None):
         """A waitable that fires after ``delay`` simulated seconds."""
-        from .process import Timeout
-
         return Timeout(self, delay, value)
 
     def signal(self, name: str = ""):
         """A fresh one-shot :class:`~repro.simcore.process.Signal`."""
-        from .process import Signal
-
         return Signal(self, name)
 
     def _register(self, proc) -> None:
@@ -97,23 +92,42 @@ class Simulator:
         queue = self._queue
         executed = 0
         try:
-            while True:
-                if self._failure is not None:
-                    raise self._failure
-                nxt = queue.peek_time()
-                if nxt is None:
-                    break
-                if until is not None and nxt > until:
-                    self.now = until
-                    return self.now
-                ev = queue.pop()
-                assert ev is not None
-                if ev.time < self.now - 1e-12:
-                    raise SimulationError("event queue went backwards in time")
-                if ev.time > self.now:
-                    self.now = ev.time
-                executed += 1
-                ev.action()
+            if until is None:
+                # Run-to-drain fast path: no horizon check means the next
+                # event can be popped directly, skipping the per-event
+                # peek (this loop is the engine's innermost).
+                pop = queue.pop
+                while True:
+                    if self._failure is not None:
+                        raise self._failure
+                    ev = pop()
+                    if ev is None:
+                        break
+                    t = ev.time
+                    if t < self.now - 1e-12:
+                        raise SimulationError("event queue went backwards in time")
+                    if t > self.now:
+                        self.now = t
+                    executed += 1
+                    ev.action()
+            else:
+                while True:
+                    if self._failure is not None:
+                        raise self._failure
+                    nxt = queue.peek_time()
+                    if nxt is None:
+                        break
+                    if nxt > until:
+                        self.now = until
+                        return self.now
+                    ev = queue.pop()
+                    assert ev is not None
+                    if ev.time < self.now - 1e-12:
+                        raise SimulationError("event queue went backwards in time")
+                    if ev.time > self.now:
+                        self.now = ev.time
+                    executed += 1
+                    ev.action()
         finally:
             self.events_executed += executed
         if self._failure is not None:

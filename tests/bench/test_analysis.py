@@ -9,10 +9,10 @@ from repro.bench import (
     link_reports,
     link_table,
     make_jacobi,
-    run_experiment,
     speedup_table,
     time_breakdown,
 )
+from repro.bench.harness import run_experiment
 
 
 @pytest.fixture(scope="module")

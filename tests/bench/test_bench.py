@@ -20,9 +20,9 @@ from repro.bench import (
     make_jacobi,
     make_nbf,
     ratio_note,
-    run_experiment,
     speedup,
 )
+from repro.bench.harness import run_experiment
 from repro.bench.calibrate import fft_ops, gauss_ops, jacobi_ops, nbf_ops
 
 

@@ -7,8 +7,8 @@ from repro.bench import (
     MigrationCostModel,
     make_jacobi,
     predicted_max_link_bytes,
-    run_experiment,
 )
+from repro.bench.harness import run_experiment
 from repro.config import SystemConfig
 
 

@@ -1,0 +1,125 @@
+"""End-to-end identity of diff squashing (``PerfParams.diff_squash``).
+
+Squashing concatenates the positions/values of all diffs collected by one
+fetch and scatters once, last-writer-wins, instead of applying each diff
+sequentially.  That is a pure wall-clock optimization: every simulated
+output — modelled runtime, traffic, protocol statistics, trace stream,
+and the actual page bytes — must be bitwise identical with squash on and
+off.  These tests run the paper's four kernels plus the adaptive and
+crash-recovery paths both ways and compare everything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.calibrate import make_fft3d, make_gauss, make_jacobi, make_nbf
+from repro.bench.harness import run_experiment
+from repro.config import PerfParams, SystemConfig
+from repro.dsm import Protocol, SharedArray
+
+from ..core.test_checkpoint import counter_program
+from ..helpers import build_adaptive, run_phases
+
+SQUASH_OFF = SystemConfig(perf=PerfParams(diff_squash=False))
+
+FACTORIES = {
+    "jacobi": lambda: make_jacobi(64, 4),
+    "gauss": lambda: make_gauss(40),
+    "fft3d": lambda: make_fft3d(8, 8, 8, 2),
+    "nbf": lambda: make_nbf(96, 8, 2),
+}
+
+
+def assert_identical(res_on, res_off):
+    assert res_on.runtime_seconds == res_off.runtime_seconds
+    assert res_on.traffic == res_off.traffic
+    stats_on = {p.pid: p.stats for p in res_on.runtime.procs.values()}
+    stats_off = {p.pid: p.stats for p in res_off.runtime.procs.values()}
+    assert stats_on == stats_off
+    assert res_on.runtime.sim.tracer.records == res_off.runtime.sim.tracer.records
+    # materialized runs: the gathered arrays themselves are bitwise equal
+    for name, arr in res_on.app.final.items():
+        np.testing.assert_array_equal(arr, res_off.app.final[name])
+
+
+class TestSquashIdentity:
+    @pytest.mark.parametrize("kernel", sorted(FACTORIES))
+    def test_kernel_bitwise_identical(self, kernel):
+        factory = FACTORIES[kernel]
+        on = run_experiment(factory, nprocs=4, trace=True, materialized=True)
+        off = run_experiment(
+            factory, nprocs=4, trace=True, materialized=True, cfg=SQUASH_OFF
+        )
+        assert_identical(on, off)
+
+    def test_traced_gauss_bitwise_identical(self):
+        """Traced mode never has page bytes, but ordering still matters for
+        applied-clock updates; the modelled outputs must match too."""
+        factory = lambda: make_gauss(40)
+        on = run_experiment(factory, nprocs=4, trace=True)
+        off = run_experiment(factory, nprocs=4, trace=True, cfg=SQUASH_OFF)
+        assert on.runtime_seconds == off.runtime_seconds
+        assert on.traffic == off.traffic
+        assert on.runtime.sim.tracer.records == off.runtime.sim.tracer.records
+
+    def test_adaptive_join_leave_bitwise_identical(self):
+        """Join + leave renumber pids mid-run; multi-writer diffs from both
+        epochs must squash to the same bytes as sequential application."""
+
+        def run(cfg):
+            sim, rt, pool = build_adaptive(
+                nprocs=3, extra_nodes=1, cfg=cfg, materialized=True, trace=True
+            )
+            seg = rt.malloc(
+                "A", shape=(48, 48), dtype="float64",
+                protocol=Protocol.MULTIPLE_WRITER,
+            )
+            arr = SharedArray(seg)
+
+            def sweep(ctx, pid, nprocs, args):
+                lo, hi = arr.block(pid, nprocs)
+                yield from ctx.access(
+                    arr.seg, reads=arr.full(), writes=arr.rows(lo, hi)
+                )
+                arr.view(ctx)[lo:hi] += 1.0
+                yield from ctx.compute(0.05)
+
+            sim.schedule(0.01, lambda: rt.submit_join(3))
+            sim.schedule(1.5, lambda: rt.submit_leave(1))
+            res = run_phases(rt, {"sweep": sweep}, ["sweep"] * 40)
+            return res, rt
+
+        res_on, rt_on = run(None)
+        res_off, rt_off = run(SQUASH_OFF)
+        assert res_on.adaptations >= 2
+        assert res_on.adaptations == res_off.adaptations
+        assert res_on.runtime_seconds == res_off.runtime_seconds
+        assert res_on.traffic == res_off.traffic
+        assert rt_on.sim.tracer.records == rt_off.sim.tracer.records
+        master_on = rt_on.procs[0]
+        master_off = rt_off.procs[0]
+        np.testing.assert_array_equal(
+            master_on.store.page_view(0), master_off.store.page_view(0)
+        )
+
+    def test_crash_recovery_bitwise_identical(self):
+        """A fail-stop crash + checkpoint restore replays intervals; the
+        recovered grid must not depend on the squash setting."""
+
+        def run(cfg):
+            sim, rt, pool = build_adaptive(
+                nprocs=3, extra_nodes=2, cfg=cfg,
+                checkpoint_interval=0.1, failure_detection=True,
+            )
+            final = {}
+            prog, *_ = counter_program(rt, n_iter=16, final=final)
+            victim = rt.team.node_of(1)
+            sim.schedule(0.9, lambda: rt.inject_crash(victim))
+            res = rt.run(prog)
+            return res, final["grid"]
+
+        res_on, grid_on = run(None)
+        res_off, grid_off = run(SQUASH_OFF)
+        np.testing.assert_array_equal(grid_on, grid_off)
+        assert res_on.runtime_seconds == res_off.runtime_seconds
+        assert len(res_on.recoveries) == len(res_off.recoveries) == 1

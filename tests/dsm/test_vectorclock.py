@@ -98,3 +98,82 @@ def test_sort_key_consistent_with_happens_before(pair):
     a, b = VectorClock(ea), VectorClock(eb)
     if b.covers(a) and a != b:
         assert a.sort_key() < b.sort_key()
+
+
+class TestCopyOnWriteSnapshots:
+    """The interning contract: snapshots freeze, mutators detach."""
+
+    def test_snapshot_shares_storage(self):
+        vc = VectorClock([1, 2, 3])
+        snap = vc.snapshot()
+        assert snap.entries is vc.entries
+        assert snap == vc
+
+    def test_tick_detaches_owner_from_snapshot(self):
+        vc = VectorClock([1, 2, 3])
+        snap = vc.snapshot()
+        vc.tick(0)
+        assert vc.entries == [2, 2, 3]
+        assert snap.entries == [1, 2, 3]
+        assert snap.entries is not vc.entries
+
+    def test_mutating_the_snapshot_detaches_it(self):
+        vc = VectorClock([1, 2, 3])
+        snap = vc.snapshot()
+        snap.advance(1, 9)
+        assert snap.entries == [1, 9, 3]
+        assert vc.entries == [1, 2, 3]
+
+    def test_merge_rebinds_and_preserves_snapshots(self):
+        vc = VectorClock([1, 2, 3])
+        snap = vc.snapshot()
+        vc.merge(VectorClock([0, 5, 1]))
+        assert vc.entries == [1, 5, 3]
+        assert snap.entries == [1, 2, 3]
+
+    def test_advance_noop_keeps_sharing(self):
+        vc = VectorClock([4, 2, 3])
+        snap = vc.snapshot()
+        vc.advance(0, 3)  # already >= 3: no write, no detach needed
+        assert snap.entries is vc.entries
+
+    def test_snapshot_of_snapshot_stays_valid(self):
+        vc = VectorClock([1, 1])
+        s1 = vc.snapshot()
+        s2 = s1.snapshot()
+        vc.tick(0)
+        s1_entries = list(s1.entries)
+        s2_entries = list(s2.entries)
+        vc.tick(1)
+        assert s1.entries == s1_entries == [1, 1]
+        assert s2.entries == s2_entries == [1, 1]
+
+    def test_sort_key_cache_invalidated_by_mutation(self):
+        vc = VectorClock([1, 2])
+        k1 = vc.sort_key()
+        vc.tick(0)
+        k2 = vc.sort_key()
+        assert k1 == (3, (1, 2))
+        assert k2 == (4, (2, 2))
+
+    def test_snapshot_inherits_cached_sort_key(self):
+        vc = VectorClock([3, 4])
+        key = vc.sort_key()
+        snap = vc.snapshot()
+        assert snap.sort_key() == key
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=2, max_size=6),
+        st.lists(st.tuples(st.integers(0, 5), st.integers(1, 60)), max_size=20),
+    )
+    def test_snapshot_immutable_under_any_mutation_sequence(self, entries, ops):
+        vc = VectorClock(entries)
+        snap = vc.snapshot()
+        frozen = list(snap.entries)
+        w = vc.width
+        for slot, seq in ops:
+            if slot % 2:
+                vc.tick(slot % w)
+            else:
+                vc.advance(slot % w, seq)
+        assert snap.entries == frozen

@@ -9,7 +9,8 @@ dying worker is retried without disturbing its neighbours.
 import pytest
 
 from repro.errors import ExecError
-from repro.exec import ResultCache, ScenarioSpec, run_spec, run_specs
+from repro.exec import ResultCache, ScenarioSpec
+from repro.exec.pool import run_spec, run_specs
 from repro.exec.pool import CRASH_ONCE_ENV
 
 

@@ -12,7 +12,8 @@ import time
 import pytest
 
 from repro.bench.perf import run_parallel_check
-from repro.exec import ResultCache, run_specs
+from repro.exec import ResultCache
+from repro.exec.pool import run_specs
 
 from .test_engine_e2e import small_specs
 
