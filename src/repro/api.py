@@ -139,20 +139,35 @@ def sweep(
     cache: Any = None,
     refresh: bool = False,
     repeat: int = 1,
+    retries: Optional[int] = None,
     progress: Any = None,
+    supervisor: Any = None,
+    obs: Optional[Registry] = None,
 ) -> SweepOutcome:
     """Run many scenarios through the parallel, cached engine.
 
     The facade name for :func:`repro.exec.pool.run_specs` — results come
     back in spec order, bitwise-identical to serial execution.
+
+    ``supervisor`` (a :class:`repro.exec.supervisor.SupervisorPolicy`)
+    carries the resilience policy — deadlines, seeded backoff retries,
+    serial degradation; ``retries`` is the simple knob when the default
+    policy is fine.  ``obs`` is a :class:`~repro.obs.Registry` the engine
+    counts retries, attributed failures, quarantined cache entries and
+    degradations into (see docs/RESILIENCE.md).
     """
+    from .config import EXEC_RETRIES
+
     return run_specs(
         specs,
         jobs=jobs,
         cache=cache,
         refresh=refresh,
         repeat=repeat,
+        retries=EXEC_RETRIES if retries is None else retries,
         progress=progress,
+        supervisor=supervisor,
+        obs=obs,
     )
 
 

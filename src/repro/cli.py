@@ -10,6 +10,7 @@
     python -m repro sweep --jobs 4            # app x nodes grid, parallel + cached
     python -m repro report jacobi --nprocs 8 \
         --event leave:0.5:3 --trace trace.json  # adaptation-cost breakdown
+    python -m repro chaos --kill-rate 0.5     # fault-injection harness
     python -m repro micro                     # §5.1 micro-benchmarks
     python -m repro fig3                      # Figure 3 analytic fractions
     python -m repro migration                 # §5.3 migration cost model
@@ -216,12 +217,45 @@ def _report_from_digest(args) -> int:
     return 0
 
 
+def _report_from_sweep(args) -> int:
+    """Render the failure/retry/cache counters of a sweep JSON file."""
+    import json
+
+    try:
+        with open(args.sweep) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"cannot read sweep file {args.sweep!r}: {err}", file=sys.stderr)
+        return 2
+    if payload.get("schema") != "repro-sweep/1":
+        print(f"{args.sweep}: not a repro-sweep/1 file", file=sys.stderr)
+        return 2
+    rows = [
+        ["scenarios", len(payload.get("scenarios", []))],
+        ["executed", payload.get("executed", 0)],
+        ["retried", payload.get("retried", 0)],
+        ["degraded to serial", "yes" if payload.get("degraded") else "no"],
+    ]
+    for kind, n in sorted(payload.get("failures", {}).items()):
+        rows.append([f"failures: {kind}", n])
+    for key, value in sorted(payload.get("cache", {}).items()):
+        rows.append([f"cache {key}", value])
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"Sweep resilience report: {args.sweep}",
+    ))
+    return 0
+
+
 def cmd_report(args) -> int:
     """Run one observed scenario and print the §5 cost decomposition."""
+    if args.sweep:
+        return _report_from_sweep(args)
     if args.digest:
         return _report_from_digest(args)
     if not args.app:
-        print("report needs a kernel name (or --digest DIGEST)", file=sys.stderr)
+        print("report needs a kernel name (or --digest DIGEST / --sweep FILE)",
+              file=sys.stderr)
         return 2
     from .api import ObsConfig, run as api_run
 
@@ -290,11 +324,20 @@ def _progress_printer(total_specs):
 
 def _sweep_summary(outcome) -> str:
     s = outcome.cache_stats
-    return (f"{len(outcome.outcomes)} scenario(s): {outcome.cache_hits} from "
+    line = (f"{len(outcome.outcomes)} scenario(s): {outcome.cache_hits} from "
             f"cache, {outcome.executed} executed ({outcome.retried} retried) "
             f"on {outcome.jobs} job(s) in {outcome.wall_seconds:.2f}s "
             f"[cache hits={s.hits} misses={s.misses} "
             f"invalidations={s.invalidations} stores={s.stores}]")
+    if s.quarantined:
+        line += f" [quarantined={s.quarantined}]"
+    if outcome.failure_counts:
+        kinds = " ".join(f"{k}={v}"
+                         for k, v in sorted(outcome.failure_counts.items()))
+        line += f" [failures: {kinds}]"
+    if outcome.degraded:
+        line += " [DEGRADED to serial execution]"
+    return line
 
 
 def cmd_table1(args) -> int:
@@ -385,6 +428,8 @@ def cmd_sweep(args) -> int:
             "cache": outcome.cache_stats.as_dict(),
             "executed": outcome.executed,
             "retried": outcome.retried,
+            "failures": dict(sorted(outcome.failure_counts.items())),
+            "degraded": outcome.degraded,
             "scenarios": [
                 {
                     "spec": task.spec.canonical_dict(),
@@ -557,6 +602,104 @@ def cmd_perfbench(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Seeded fault injection against the execution engine.
+
+    Runs a fault-free baseline, replays the same specs under a chaos
+    plan (worker kills/hangs/slowdowns), then corrupts warm-cache
+    entries and sweeps again — asserting bitwise identity throughout.
+    Exit 0 means the engine absorbed every injected fault; a structured,
+    attributed failure report and exit 1 mean it (correctly) gave up.
+    """
+    from pathlib import Path
+
+    from .api import spec_from_preset
+    from .exec.chaos import ChaosPlan, run_chaos
+    from .exec.supervisor import DeadlinePolicy, RetryPolicy, SupervisorPolicy
+
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    for app in apps:
+        if app not in APP_NAMES:
+            print(f"unknown app {app!r}; one of {', '.join(APP_NAMES)}",
+                  file=sys.stderr)
+            return 2
+    try:
+        nodes = [int(v) for v in args.nodes.split(",") if v.strip()]
+    except ValueError:
+        print(f"bad --nodes {args.nodes!r}; expected e.g. 1,4,8", file=sys.stderr)
+        return 2
+    specs = [
+        spec_from_preset(args.preset, app, nprocs, calibrated=True,
+                         seed=9000 + k, label=f"{app}-{nprocs}-chaos{k}")
+        for app in apps for nprocs in nodes
+        for k in range(max(1, args.scenarios))
+    ]
+    plan = ChaosPlan(
+        seed=args.seed, kill_rate=args.kill_rate, hang_rate=args.hang_rate,
+        slow_rate=args.slow_rate, hang_seconds=args.hang_seconds,
+    )
+    supervisor = SupervisorPolicy(
+        retry=RetryPolicy(max_attempts=args.retries + 1, seed=args.seed),
+        deadline=DeadlinePolicy(floor_seconds=args.deadline_floor),
+        degrade_after=args.degrade_after,
+    )
+    # the chaos cache is scratch state: start from a clean slate so the
+    # injected faults actually execute instead of hitting warm entries
+    cache_root = Path(args.cache_dir)
+    for stale in cache_root.glob("*.json"):
+        stale.unlink()
+    quarantine = cache_root / "quarantine"
+    if quarantine.is_dir():
+        for stale in quarantine.iterdir():
+            stale.unlink()
+    try:
+        report = run_chaos(
+            specs, plan, cache_root, jobs=args.jobs, corrupt=args.corrupt,
+            supervisor=supervisor, progress=_progress_printer(len(specs)),
+        )
+    except ReproError as err:
+        kind = getattr(err, "kind", "error")
+        print(f"chaos run failed [{kind}]: {err}", file=sys.stderr)
+        digest = getattr(err, "digest", "")
+        if digest:
+            print(f"  task digest {digest[:12]}, "
+                  f"attempts {getattr(err, 'attempts', '?')}", file=sys.stderr)
+        return 1
+    chaos, corruption = report["chaos"], report["corruption"]
+    rows = [
+        ["scenarios", report["scenarios"]],
+        ["jobs", report["jobs"]],
+        ["bitwise identical to fault-free", "yes"],
+        ["chaos sweep: executed", chaos["executed"]],
+        ["chaos sweep: retried", chaos["retried"]],
+        ["chaos sweep: degraded to serial",
+         "yes" if chaos["degraded"] else "no"],
+    ]
+    for kind, n in sorted(chaos["failure_counts"].items()):
+        rows.append([f"chaos sweep: {kind}", n])
+    rows += [
+        ["cache entries corrupted", len(corruption["damaged"])],
+        ["quarantined", corruption["quarantined"]],
+        ["re-executed after corruption", corruption["re_executed"]],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"Chaos harness (seed {plan.seed}, kill {plan.kill_rate:.0%}, "
+              f"hang {plan.hang_rate:.0%}, slow {plan.slow_rate:.0%})",
+    ))
+    if corruption["quarantine_files"]:
+        print(f"  quarantine ({corruption['quarantine_dir']}): "
+              + ", ".join(corruption["quarantine_files"]), file=sys.stderr)
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  chaos report written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def cmd_recovery(args) -> int:
     from .bench import recovery_sweep, sweep_rows
 
@@ -674,6 +817,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--digest", default=None, metavar="DIGEST",
                      help="render the cost table from a cached sweep entry "
                           "(unique digest prefix) instead of running")
+    rep.add_argument("--sweep", default=None, metavar="FILE",
+                     help="render the failure/retry/cache counters of a "
+                          "sweep JSON (from `repro sweep --json`) instead "
+                          "of running")
     rep.add_argument("--trace", default=None, metavar="FILE",
                      help="export the Chrome/Perfetto trace.json")
     rep.add_argument("--metrics", default=None, metavar="FILE",
@@ -719,6 +866,47 @@ def build_parser() -> argparse.ArgumentParser:
                            "uninstrumented run")
     _add_engine_args(perf, cache_default_on=False)
     perf.set_defaults(fn=cmd_perfbench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault injection: worker kills/hangs + cache corruption, "
+             "asserting bitwise-identical sweeps",
+    )
+    chaos.add_argument("--apps", default="jacobi",
+                       help="comma-separated kernels (default: %(default)s)")
+    chaos.add_argument("--nodes", default="4",
+                       help="comma-separated team sizes (default: %(default)s)")
+    chaos.add_argument("--preset", choices=sorted(PRESETS), default="tiny")
+    chaos.add_argument("--scenarios", type=int, default=3,
+                       help="distinct seeds per app x nodes cell "
+                            "(default: %(default)s)")
+    chaos.add_argument("--jobs", type=int, default=2,
+                       help="pool size for the chaos sweeps")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="chaos plan + backoff seed (runs replay exactly)")
+    chaos.add_argument("--kill-rate", type=float, default=0.5,
+                       help="P(worker killed) per task attempt")
+    chaos.add_argument("--hang-rate", type=float, default=0.0,
+                       help="P(worker hangs past its deadline) per attempt")
+    chaos.add_argument("--slow-rate", type=float, default=0.25,
+                       help="P(worker naps briefly) per attempt")
+    chaos.add_argument("--hang-seconds", type=float, default=30.0,
+                       help="sleep of an injected hang (exceed the deadline)")
+    chaos.add_argument("--corrupt", type=int, default=1,
+                       help="warm-cache entries to truncate/bit-flip")
+    chaos.add_argument("--retries", type=int, default=2,
+                       help="retry budget per task under chaos")
+    chaos.add_argument("--deadline-floor", type=float, default=60.0,
+                       help="per-task deadline floor in seconds")
+    chaos.add_argument("--degrade-after", type=int, default=3,
+                       help="consecutive failures before serial degradation "
+                            "(0 disables)")
+    chaos.add_argument("--cache-dir", default="benchmarks/results/chaos-cache",
+                       help="scratch result cache (cleared each run; "
+                            "default: %(default)s)")
+    chaos.add_argument("--json", default=None, metavar="FILE",
+                       help="write the full chaos report as JSON")
+    chaos.set_defaults(fn=cmd_chaos)
 
     rec = sub.add_parser(
         "recovery", help="crash-recovery cost vs. checkpoint interval (Jacobi)"

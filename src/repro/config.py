@@ -248,9 +248,23 @@ class PerfParams:
     #: implementation the identity tests compare against.
     diff_squash: bool = True
 
+    #: Prune interval records from each process's log as soon as every
+    #: peer's applied clock covers them (nobody can ever request their
+    #: diffs again).  Bounds log memory across barrier-free lock-heavy
+    #: phases.  Pure host-side bookkeeping: modelled times, traffic and
+    #: GC timing are bitwise identical with pruning on or off
+    #: (``tests/dsm/test_interval_prune.py``).
+    interval_prune: bool = True
+
+    #: Interval closes between prune sweeps (pruning is O(peers × pages
+    #: written), so it is amortized rather than run per close).
+    interval_prune_period: int = 64
+
     def validate(self) -> None:
         if self.plan_cache_capacity < 1:
             raise ConfigurationError("plan_cache_capacity must be >= 1")
+        if self.interval_prune_period < 1:
+            raise ConfigurationError("interval_prune_period must be >= 1")
 
 
 #: Default location of the content-addressed scenario-result cache
@@ -280,11 +294,48 @@ class ExecParams:
     #: Times a task is re-queued after its worker process crashes.
     retries: int = EXEC_RETRIES
 
+    #: Wall-clock floor of a task's deadline (seconds); the supervisor
+    #: never reaps a worker younger than this.
+    deadline_floor: float = 30.0
+
+    #: First retry backoff (seconds); doubles each further attempt.
+    backoff_base: float = 0.05
+
+    #: Backoff ceiling (seconds).
+    backoff_max: float = 2.0
+
+    #: Consecutive pool-level failures before the sweep degrades to
+    #: in-process serial execution (0 disables degradation).
+    degrade_after: int = 3
+
     def validate(self) -> None:
         if self.jobs is not None and self.jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
         if self.retries < 0:
             raise ConfigurationError("retries must be >= 0")
+        if self.deadline_floor < 0:
+            raise ConfigurationError("deadline_floor must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.degrade_after < 0:
+            raise ConfigurationError("degrade_after must be >= 0")
+
+    def supervisor_policy(self):
+        """The :class:`repro.exec.supervisor.SupervisorPolicy` these
+        parameters describe."""
+        from .exec.supervisor import (
+            DeadlinePolicy,
+            RetryPolicy,
+            SupervisorPolicy,
+        )
+
+        return SupervisorPolicy(
+            retry=RetryPolicy(max_attempts=self.retries + 1,
+                              base_delay=self.backoff_base,
+                              max_delay=self.backoff_max),
+            deadline=DeadlinePolicy(floor_seconds=self.deadline_floor),
+            degrade_after=self.degrade_after,
+        )
 
     def effective_jobs(self) -> int:
         """The actual worker count (resolves None to the core count)."""

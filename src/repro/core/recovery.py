@@ -122,6 +122,21 @@ def run_recovery(
     yield sim.timeout(io_seconds + spawn_seconds)
     t_restore = sim.now
 
+    # A cascading crash during the restore window invalidates the plan
+    # (crashes declared while recovering are fenced, not re-entered —
+    # see AdaptiveRuntime._declare_crashed).  Re-plan over the nodes
+    # still healthy; when none are left this raises a structured
+    # RecoveryError instead of rebuilding onto a dead node.
+    if any(runtime.pool.node(n).crashed for n in new_nodes):
+        crashed_mid_restore = [
+            n for n in new_nodes if runtime.pool.node(n).crashed
+        ]
+        sim.tracer.emit(
+            "fault", "recovery_replan",
+            f"crashed during restore: {crashed_mid_restore}",
+        )
+        new_nodes = plan_new_team(runtime, nprocs_before)
+
     runtime._rebuild_after_crash(new_nodes)
     if ckpt is not None:
         restore_checkpoint_live(runtime, ckpt)

@@ -28,7 +28,7 @@ from typing import Any, Dict, Generator, List, Optional
 
 from ..dsm.process import DsmProcess
 from ..dsm.runtime import DetectorCounters, RegionCtx, RunResult, TmkRuntime
-from ..errors import AdaptationError
+from ..errors import AdaptationError, RecoveryError, SimulationError
 from ..faults.detector import FailureDetector
 from ..network import message as mk
 from ..obs.core import TRACK_ADAPT
@@ -158,11 +158,25 @@ class AdaptiveRuntime(TmkRuntime):
     def run(self, program, until=None) -> RunResult:
         if self.detector is not None:
             self.detector.start()
-        return super().run(program, until=until)
+        try:
+            return super().run(program, until=until)
+        except SimulationError as err:
+            # A RecoveryError inside the simulated recovery process (spare
+            # pool exhausted mid-recovery) is a structured outcome of the
+            # failure model, not a simulator defect: surface it as itself,
+            # attributed, instead of a wrapped engine traceback.
+            cause = err.__cause__
+            if isinstance(cause, RecoveryError):
+                raise RecoveryError(
+                    f"unrecoverable: {cause} (after "
+                    f"{len(self.recoveries)} completed recover(ies))"
+                ) from cause
+            raise
 
     def _wire_process(self, proc: DsmProcess) -> None:
         """Install the runtime's hooks on a (new) DSM engine."""
         proc.stall_hook = self.stall_check
+        proc.peers_hook = self._live_procs
         if self.failure_detection:
             proc.crash_hook = self._report_suspected_crash
 

@@ -217,6 +217,10 @@ class IntervalLog:
     def get(self, seq: int) -> IntervalRecord:
         return self._by_seq[seq]
 
+    def pages(self) -> List[int]:
+        """Pages with at least one live record (prune-candidate keys)."""
+        return list(self._by_page)
+
     def records_for(
         self, page: int, from_seq_exclusive: int, to_seq_inclusive: int
     ) -> List[IntervalRecord]:
@@ -236,6 +240,42 @@ class IntervalLog:
             if diff is not None:
                 out.append(diff)
         return out
+
+    def prune_covered(self, cover: Dict[int, int]) -> int:
+        """Drop records every peer's applied clock already covers.
+
+        ``cover[page]`` is the *cover frontier* for this writer on
+        ``page``: the minimum, over all peers, of the seq up to which the
+        peer has applied this writer's diffs on that page (0 when a peer
+        has no mapping yet — a later notice would lazily map the page
+        with a zero applied clock and request diffs from seq 0).  A
+        record is dead once **every** page it wrote is covered at or
+        beyond its seq: no DIFF_REQ can ever name it again, because
+        requests ask for ``(applied[writer], to]`` windows.
+
+        Returns the number of records dropped.  Purely host-side
+        bookkeeping — no messages, no simulated time — so pruning never
+        changes simulated results (see ``tests/dsm/test_interval_prune.py``).
+        """
+        if not self._by_seq:
+            return 0
+        dead = [
+            seq for seq, rec in self._by_seq.items()
+            if all(cover.get(page, 0) >= seq for page in rec.write_ranges)
+        ]
+        for seq in dead:
+            rec = self._by_seq.pop(seq)
+            by_page = self._by_page
+            for page in rec.write_ranges:
+                bucket = by_page.get(page)
+                if bucket is None:
+                    continue
+                lo = bisect_left(bucket, seq, key=lambda item: item[0])
+                if lo < len(bucket) and bucket[lo][0] == seq:
+                    del bucket[lo]
+                if not bucket:
+                    del by_page[page]
+        return len(dead)
 
     def clear(self) -> None:
         """Drop everything (garbage collection)."""

@@ -96,6 +96,17 @@ class DsmProcess:
         self._plan_cache_enabled = cfg.perf.plan_cache
         self._bulk_fetch = cfg.perf.bulk_fetch
         self._diff_squash = cfg.perf.diff_squash
+        # Incremental interval-log pruning (PerfParams.interval_prune):
+        # drop records every peer's applied clock covers, every
+        # ``interval_prune_period`` closes.  Host-side memory bounding
+        # only — bitwise identical on or off.
+        self._prune_enabled = cfg.perf.interval_prune
+        self._prune_period = cfg.perf.interval_prune_period
+        self._prune_countdown = self._prune_period
+        #: Intervals closed since the last GC; drives ``wants_gc`` (the
+        #: §4.1 consistency-memory limit) independently of pruning, so
+        #: GC timing is identical whether or not the log was pruned.
+        self._intervals_this_epoch = 0
         space.plan_cache.capacity = cfg.perf.plan_cache_capacity
         self._notice_bytes = cfg.dsm.write_notice_bytes
         self._vc_bytes: Tuple[int, int] = (-1, 0)  # (vc width, cached bytes)
@@ -129,6 +140,10 @@ class DsmProcess:
         #: out or the peer's NIC is dark — escalates the NetworkError into a
         #: suspected-crash report instead of failing the simulation.
         self.crash_hook = None
+        #: Set by the runtime: zero-argument callable returning the live
+        #: pid -> process map.  Interval-log pruning reads peers' applied
+        #: clocks through it — pure host-side bookkeeping, no messages.
+        self.peers_hook = None
         node.add_process()
 
     # ------------------------------------------------------------------
@@ -987,6 +1002,13 @@ class DsmProcess:
                 obs.count("dsm.diff.created", len(diffs))
         self.current_writes = {}
         self.stats.intervals_closed += 1
+        self._intervals_this_epoch += 1
+        if self._prune_enabled:
+            self._prune_countdown -= 1
+            if self._prune_countdown <= 0:
+                self._prune_countdown = self._prune_period
+                if len(self.log) >= self._prune_period:
+                    self._prune_interval_log()
         notices = rec.notices()
         # Index our own notices directly: ``seq`` is a fresh maximum for
         # our bucket and notices() is page-ascending, so plain appends
@@ -1017,8 +1039,66 @@ class DsmProcess:
 
     @property
     def wants_gc(self) -> bool:
-        """True when the interval log hit the configured limit (§4.1)."""
-        return len(self.log) >= self.cfg.dsm.gc_interval_limit
+        """True when enough intervals closed this epoch (§4.1).
+
+        Counts *closes*, not live log records, so incremental pruning
+        (which shrinks the log) never shifts when GCs happen — the
+        simulated schedule is identical with pruning on or off.
+        """
+        return self._intervals_this_epoch >= self.cfg.dsm.gc_interval_limit
+
+    def _prune_interval_log(self) -> int:
+        """Drop log records no peer can ever request diffs from again.
+
+        A peer asks this writer for diffs of page ``p`` in the window
+        ``(applied[p][us], seq]`` (see :meth:`_fetch_pending`), and its
+        per-page applied clock only advances within an epoch.  So the
+        *cover frontier* — the minimum over all peers of their applied
+        clock for us on ``p``, with 0 for peers that never mapped ``p``
+        (a later notice lazily maps it with a zero applied clock) — is a
+        safe lower bound: records whose every written page is covered at
+        or beyond their seq are unreachable and can be dropped.
+
+        Skipped entirely unless every peer is in our GC epoch (applied
+        clocks reset across GC/adaptation, so cross-epoch reads would be
+        meaningless).  Reads peer state through ``peers_hook`` — an
+        oracle read of host memory, no simulated messages or time, which
+        is why pruning is bitwise invisible to the simulation.
+        """
+        peers_hook = self.peers_hook
+        if peers_hook is None:
+            return 0
+        pid = self.pid
+        epoch = self.epoch
+        peers = [q for q in peers_hook().values() if q.pid != pid]
+        if not peers:
+            return 0
+        for q in peers:
+            if q.epoch != epoch:
+                return 0
+        cover: Dict[int, int] = {}
+        for page in self.log.pages():
+            frontier: Optional[int] = None
+            for q in peers:
+                pte = q.table.get(page)
+                if pte is None:
+                    frontier = 0
+                    break
+                applied = pte.applied.entries
+                seq = applied[pid] if pid < len(applied) else 0
+                if seq == 0:
+                    frontier = 0
+                    break
+                if frontier is None or seq < frontier:
+                    frontier = seq
+            if frontier:
+                cover[page] = frontier
+        if not cover:
+            return 0
+        pruned = self.log.prune_covered(cover)
+        if pruned:
+            self.stats.intervals_pruned += pruned
+        return pruned
 
     # ------------------------------------------------------------------
     # barrier (client side; the manager lives on the master)
@@ -1094,6 +1174,8 @@ class DsmProcess:
         self._seen_by_proc.clear()
         self.vc = VectorClock.zeros(self.team.nprocs)
         self.epoch += 1
+        self._intervals_this_epoch = 0
+        self._prune_countdown = self._prune_period
         self._sent_to_master_seq = 0
         self._lock_state.clear()
         if self.lock_mgr is not None:

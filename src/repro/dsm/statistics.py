@@ -22,6 +22,10 @@ class DsmStats:
     diffs_created: int = 0
     twins_created: int = 0
     intervals_closed: int = 0
+    #: Interval-log records dropped by incremental pruning (host-side
+    #: memory bounding — see ``PerfParams.interval_prune``; never affects
+    #: simulated times or traffic).
+    intervals_pruned: int = 0
     barriers: int = 0
     locks_acquired: int = 0
     gcs: int = 0

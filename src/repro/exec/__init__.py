@@ -12,7 +12,11 @@ into a schedulable task:
 * :mod:`~repro.exec.cache` — :class:`ResultCache`, one file per digest
   under ``benchmarks/results/cache/`` salted with ``repro.__version__``;
 * :mod:`~repro.exec.pool` — :func:`run_specs`, the spawn-based worker
-  pool with per-task progress, crash retry, and spec-order merge.
+  pool with per-task progress, supervised retries, and spec-order merge;
+* :mod:`~repro.exec.supervisor` — deadlines, the failure taxonomy, and
+  the deterministic backoff/degradation policy the pool enforces;
+* :mod:`~repro.exec.chaos` — the seeded fault-injection harness behind
+  ``repro chaos`` (worker kills/hangs, cache corruption).
 
 ``repro sweep --jobs N`` is the CLI face; ``repro table1``, ``repro
 perfbench`` and ``repro recovery`` run on the same engine.
@@ -25,10 +29,22 @@ from .cache import (
     ResultCache,
     code_version_salt,
 )
+from .chaos import CHAOS_ENV, ChaosPlan, corrupt_cache_entries, run_chaos
 from .pool import (
     SweepOutcome,
     TaskOutcome,
     default_jobs,
+)
+from .supervisor import (
+    AttemptRecord,
+    CacheCorrupt,
+    DeadlinePolicy,
+    ResourceExhausted,
+    RetryPolicy,
+    SupervisorPolicy,
+    TaskFailure,
+    TaskTimeout,
+    WorkerCrash,
 )
 from .result import RESULT_SCHEMA, ScenarioResult
 from .spec import (
@@ -65,18 +81,31 @@ def __getattr__(name):
 
 __all__ = [
     "AdaptEvent",
+    "AttemptRecord",
     "CACHE_SCHEMA",
+    "CHAOS_ENV",
+    "CacheCorrupt",
     "CachedEntry",
     "CacheStats",
+    "ChaosPlan",
+    "DeadlinePolicy",
     "RESULT_SCHEMA",
+    "ResourceExhausted",
     "ResultCache",
+    "RetryPolicy",
     "SPEC_SCHEMA",
     "ScenarioResult",
     "ScenarioSpec",
+    "SupervisorPolicy",
     "SweepOutcome",
+    "TaskFailure",
     "TaskOutcome",
+    "TaskTimeout",
+    "WorkerCrash",
     "code_version_salt",
+    "corrupt_cache_entries",
     "default_jobs",
+    "run_chaos",
     "run_spec",
     "run_specs",
     "spec_from_preset",

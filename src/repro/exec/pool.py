@@ -3,20 +3,30 @@
 :func:`run_specs` is the engine's entry point: it takes an ordered list
 of :class:`~repro.exec.spec.ScenarioSpec`, answers what it can from the
 result cache, shards the misses across a spawn-based worker pool
-(``--jobs N``), streams per-task progress, retries a task once if its
-worker process dies, and merges everything back **in spec order** — so
-the output is bitwise-identical to running the same list serially
-(simulations are deterministic; see ``tests/exec/test_engine_e2e.py``).
+(``--jobs N``), streams per-task progress, supervises every attempt
+(deadlines, seeded-backoff retries, failure attribution — see
+:mod:`repro.exec.supervisor`), and merges everything back **in spec
+order** — so the output is bitwise-identical to running the same list
+serially (simulations are deterministic; see
+``tests/exec/test_engine_e2e.py`` and ``tests/exec/test_chaos.py``).
 
 ``jobs=1`` executes in the calling process with no pool at all: that path
 *is* the legacy serial execution, and is what the parallel path is tested
 against.  Workers are spawned (never forked) so each scenario runs in a
 pristine interpreter — no inherited simulator state, and identical
 behaviour on platforms where fork is unavailable or unsafe.
+
+When the pool itself looks sick — ``degrade_after`` *consecutive*
+task-level failures anywhere in the sweep — the engine stops spawning
+workers and finishes the remaining tasks serially in process.  Serial
+execution cannot crash-loop, and because the simulations are
+deterministic the degraded sweep still returns bitwise-identical
+results; it is just slower.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
 from dataclasses import dataclass, field
@@ -27,11 +37,22 @@ from ..errors import ExecError
 from .cache import CacheStats, ResultCache
 from .result import ScenarioResult
 from .spec import ScenarioSpec
+from .supervisor import (
+    AttemptRecord,
+    ResourceExhausted,
+    SupervisorPolicy,
+    TaskTimeout,
+    WorkerCrash,
+)
 
 #: Test-only fault injection: when set to a writable directory, a worker
 #: hard-exits the first time it sees each spec digest (a flag file marks
 #: "already crashed once"), exercising the crash-retry path end to end.
+#: Richer, seeded fault injection lives in :mod:`repro.exec.chaos`.
 CRASH_ONCE_ENV = "REPRO_EXEC_CRASH_ONCE"
+
+#: Grace period between SIGTERM and SIGKILL when reaping a worker.
+REAP_GRACE_SECONDS = 2.0
 
 
 def default_jobs() -> int:
@@ -97,16 +118,20 @@ def run_spec(spec: ScenarioSpec, repeat: int = 1) -> Tuple[ScenarioResult, float
     )
 
 
-def _worker(payload: Tuple[int, ScenarioSpec, int]) -> Tuple[int, dict, float]:
+def _worker(payload: Tuple[int, ScenarioSpec, int, int]) -> Tuple[int, dict, float]:
     """Pool worker: run one spec, return its index + serialized result."""
-    index, spec, repeat = payload
+    index, spec, repeat, attempt = payload
+    digest = spec.config_digest()
     crash_dir = os.environ.get(CRASH_ONCE_ENV)
     if crash_dir:
-        flag = os.path.join(crash_dir, f"{spec.config_digest()}.crashed")
+        flag = os.path.join(crash_dir, f"{digest}.crashed")
         if not os.path.exists(flag):
             with open(flag, "w") as fh:
                 fh.write("crashed once\n")
             os._exit(3)  # simulate a worker death, not a Python exception
+    from .chaos import worker_fault
+
+    worker_fault(digest, attempt)
     result, wall = run_spec(spec, repeat=repeat)
     return index, result.to_dict(), wall
 
@@ -128,13 +153,17 @@ class TaskOutcome:
     #: Executions attempted (0 for hits, >1 after a worker-crash retry).
     attempts: int
     #: Pool slot that executed this task (0 on the serial path, -1 for
-    #: cache hits — they take no pool time).
+    #: cache hits — they take no pool time, -2 for the serial-degradation
+    #: fallback).
     worker: int = -1
     #: Wall-clock start/end of the successful execution, in seconds since
     #: the sweep began (both 0.0 for cache hits).  ``repro sweep
     #: --timeline`` renders these as the pool utilization timeline.
     started_at: float = 0.0
     ended_at: float = 0.0
+    #: Per-attempt supervision history (failures first, then the final
+    #: ``"ok"``); empty for cache hits and the plain serial path.
+    attempt_log: Tuple[AttemptRecord, ...] = ()
 
 
 @dataclass
@@ -147,6 +176,11 @@ class SweepOutcome:
     executed: int
     retried: int
     wall_seconds: float = 0.0
+    #: Failure-kind → count across all attempts this sweep (retried
+    #: *and* terminal); empty when nothing went wrong.
+    failure_counts: Dict[str, int] = field(default_factory=dict)
+    #: True when the pool fell back to in-process serial execution.
+    degraded: bool = False
 
     @property
     def results(self) -> List[ScenarioResult]:
@@ -160,6 +194,18 @@ class SweepOutcome:
 ProgressFn = Callable[[TaskOutcome, int, int], None]
 
 
+class _PoolDegraded(Exception):
+    """Internal: the pool hit the degradation threshold mid-sweep."""
+
+    def __init__(self, completed, retried, failure_counts, remaining):
+        super().__init__("pool degraded to serial execution")
+        self.completed = completed
+        self.retried = retried
+        self.failure_counts = failure_counts
+        #: [(index, spec, next_attempt, attempt_log)] still to run.
+        self.remaining = remaining
+
+
 def run_specs(
     specs: Sequence[ScenarioSpec],
     jobs: Optional[int] = None,
@@ -168,21 +214,32 @@ def run_specs(
     repeat: int = 1,
     retries: int = EXEC_RETRIES,
     progress: Optional[ProgressFn] = None,
+    supervisor: Optional[SupervisorPolicy] = None,
+    obs=None,
 ) -> SweepOutcome:
     """Run every spec, answering from ``cache`` where possible.
 
     Results come back in spec order regardless of completion order, and
     are bitwise-identical to ``jobs=1`` serial execution.  ``refresh``
     forces re-execution (and re-stores) even on a warm cache.
+
+    ``supervisor`` carries the full resilience policy (deadlines, backoff
+    retries, degradation); when omitted one is built from the legacy
+    ``retries`` knob.  ``obs`` is an optional
+    :class:`~repro.obs.Registry`; the engine counts retries, failures by
+    kind, quarantined cache entries and degradations into it.
     """
     specs = list(specs)
     jobs = jobs if jobs is not None else default_jobs()
     if jobs < 1:
         raise ExecError("jobs must be >= 1")
+    policy = (supervisor if supervisor is not None
+              else SupervisorPolicy.from_retries(retries)).validate()
     t_start = time.perf_counter()
     total = len(specs)
     outcomes: List[Optional[TaskOutcome]] = [None] * total
     done = 0
+    corrupt_before = cache.stats.corrupt if cache is not None else 0
 
     def _finish(outcome: TaskOutcome) -> None:
         nonlocal done
@@ -201,6 +258,8 @@ def run_specs(
             pending.append((i, spec))
 
     retried = 0
+    degraded = False
+    failure_counts: Dict[str, int] = {}
     if pending:
         if jobs == 1:
             for i, spec in pending:
@@ -213,17 +272,50 @@ def run_specs(
                                     attempts=1, worker=0,
                                     started_at=started, ended_at=ended))
         else:
-            completed, retried = _run_parallel(
-                pending, jobs=jobs, repeat=repeat, retries=retries,
-                t_start=t_start,
-            )
+            try:
+                completed, retried, failure_counts = _run_parallel(
+                    pending, jobs=jobs, repeat=repeat, policy=policy,
+                    t_start=t_start,
+                )
+            except _PoolDegraded as deg:
+                degraded = True
+                completed = deg.completed
+                retried = deg.retried
+                failure_counts = deg.failure_counts
+                for i, spec, attempt, log in deg.remaining:
+                    started = time.perf_counter() - t_start
+                    result, wall = run_spec(spec, repeat=repeat)
+                    ended = time.perf_counter() - t_start
+                    completed[i] = (
+                        result, wall, attempt, -2, started, ended,
+                        log + (AttemptRecord(attempt, "ok", wall, worker=-2,
+                                             detail="serial degradation"),),
+                    )
             for i, spec in pending:
-                result, wall, attempts, worker, started, ended = completed[i]
+                result, wall, attempts, worker, started, ended, log = \
+                    completed[i]
                 if cache is not None:
                     cache.put(spec, result, wall_seconds=wall)
                 _finish(TaskOutcome(i, spec, result, wall, cached=False,
                                     attempts=attempts, worker=worker,
-                                    started_at=started, ended_at=ended))
+                                    started_at=started, ended_at=ended,
+                                    attempt_log=log))
+
+    corrupt_seen = (cache.stats.corrupt - corrupt_before
+                    if cache is not None else 0)
+    if corrupt_seen:
+        failure_counts["cache_corrupt"] = (
+            failure_counts.get("cache_corrupt", 0) + corrupt_seen
+        )
+    if obs is not None:
+        if retried:
+            obs.count("exec.retry", retried)
+        for kind, n in sorted(failure_counts.items()):
+            obs.count(f"exec.failure.{kind}", n)
+        if degraded:
+            obs.count("exec.degraded")
+        if corrupt_seen:
+            obs.count("exec.cache.quarantined", corrupt_seen)
 
     return SweepOutcome(
         outcomes=outcomes,  # type: ignore[arg-type]  (all filled above)
@@ -232,10 +324,12 @@ def run_specs(
         executed=len(pending),
         retried=retried,
         wall_seconds=time.perf_counter() - t_start,
+        failure_counts=failure_counts,
+        degraded=degraded,
     )
 
 
-def _child_main(conn, payload: Tuple[int, ScenarioSpec, int]) -> None:
+def _child_main(conn, payload: Tuple[int, ScenarioSpec, int, int]) -> None:
     """Entry point of one worker process (spawned, never forked)."""
     import traceback
 
@@ -249,21 +343,40 @@ def _child_main(conn, payload: Tuple[int, ScenarioSpec, int]) -> None:
     conn.close()
 
 
+def _reap(proc, grace: float = REAP_GRACE_SECONDS) -> None:
+    """Stop a worker for sure: terminate → join(grace) → kill → join.
+
+    A worker that ignores or cannot service SIGTERM (wedged in native
+    code, masked signals) gets SIGKILL after ``grace`` seconds; the final
+    unbounded join is safe because SIGKILL cannot be ignored.
+    """
+    proc.terminate()
+    proc.join(grace)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+
+
 def _run_parallel(
     tasks: Sequence[Tuple[int, ScenarioSpec]],
     jobs: int,
     repeat: int,
-    retries: int,
+    policy: SupervisorPolicy,
     t_start: Optional[float] = None,
-) -> Tuple[Dict[int, Tuple[ScenarioResult, float, int, int, float, float]], int]:
+) -> Tuple[Dict[int, tuple], int, Dict[str, int]]:
     """Execute tasks with one spawned process per task, ``jobs`` at a time.
 
-    A dedicated process per task makes crash attribution exact: a worker
-    that dies without reporting (killed, segfault, ``os._exit``) fails
-    only *its own* task, which is requeued until its ``retries`` budget
-    runs out; the other in-flight tasks are untouched.  A worker that
-    raises an ordinary Python exception is not a crash — the exception is
-    re-raised here, wrapped in :class:`ExecError`.
+    A dedicated process per task makes failure attribution exact: a
+    worker that dies without reporting (killed, segfault, ``os._exit``)
+    or overruns its deadline fails only *its own* task, which is requeued
+    (after a seeded backoff) until its attempt budget runs out; the other
+    in-flight tasks are untouched.  A worker that raises an ordinary
+    Python exception is not a crash — the exception is re-raised here,
+    wrapped in :class:`ExecError`, because it is deterministic and a
+    retry would fail identically.
+
+    Raises :class:`_PoolDegraded` when ``policy.degrade_after``
+    consecutive failures suggest the *pool* (not one task) is sick.
     """
     import multiprocessing as mp
     from collections import deque
@@ -272,28 +385,99 @@ def _run_parallel(
     ctx = mp.get_context("spawn")
     if t_start is None:
         t_start = time.perf_counter()
-    completed: Dict[int, Tuple[ScenarioResult, float, int, int, float, float]] = {}
+    completed: Dict[int, tuple] = {}
     retried = 0
-    queue = deque((i, spec, 1) for i, spec in tasks)
+    failure_counts: Dict[str, int] = {}
+    consecutive = 0
+    #: ready-to-run: (index, spec, attempt, attempt_log)
+    queue = deque((i, spec, 1, ()) for i, spec in tasks)
+    #: backoff heap: (ready_at, seq, index, spec, attempt, attempt_log)
+    delayed: list = []
+    delay_seq = 0
     running: Dict[object, tuple] = {}
     free_slots = list(range(jobs - 1, -1, -1))  # pop() hands out slot 0 first
+
+    def _count(kind: str) -> None:
+        failure_counts[kind] = failure_counts.get(kind, 0) + 1
+
+    def _requeue(i, spec, attempt, log, failure_cls, detail):
+        """Account one failed attempt; retry with backoff or give up."""
+        nonlocal retried, delay_seq, consecutive
+        _count(failure_cls.kind)
+        consecutive += 1
+        log = log + (AttemptRecord(attempt, failure_cls.kind, detail=detail),)
+        if attempt >= policy.retry.max_attempts:
+            raise failure_cls(detail, spec=spec, attempts=attempt)
+        retried += 1
+        backoff = policy.retry.backoff(spec.config_digest(), attempt + 1)
+        heapq.heappush(delayed, (time.perf_counter() + backoff, delay_seq,
+                                 i, spec, attempt + 1, log))
+        delay_seq += 1
+        if policy.degrade_after and consecutive >= policy.degrade_after:
+            _degrade()
+
+    def _degrade():
+        """Reap everything and hand the sweep back for serial finishing."""
+        remaining = [(i, spec, attempt, log)
+                     for (_, _, i, spec, attempt, log) in delayed]
+        remaining += [(i, spec, attempt, log)
+                      for (i, spec, attempt, log) in queue]
+        for proc, conn, i, spec, attempt, slot, started, dl, log in \
+                running.values():
+            _reap(proc)
+            conn.close()
+            # the in-flight attempt was aborted by the supervisor, not
+            # failed by the worker — rerun it at the same attempt number
+            remaining.append((i, spec, attempt, log))
+        running.clear()
+        remaining.sort(key=lambda t: t[0])
+        raise _PoolDegraded(completed, retried, failure_counts, remaining)
+
     try:
-        while queue or running:
+        while queue or delayed or running:
+            now = time.perf_counter()
+            while delayed and delayed[0][0] <= now:
+                _, _, i, spec, attempt, log = heapq.heappop(delayed)
+                queue.append((i, spec, attempt, log))
             while queue and len(running) < jobs:
-                i, spec, attempt = queue.popleft()
+                i, spec, attempt, log = queue.popleft()
                 slot = free_slots.pop()
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_child_main, args=(child_conn, (i, spec, repeat)),
-                )
-                started = time.perf_counter() - t_start
-                proc.start()
+                try:
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_child_main,
+                        args=(child_conn, (i, spec, repeat, attempt)),
+                    )
+                    started = time.perf_counter() - t_start
+                    proc.start()
+                except OSError as err:
+                    free_slots.append(slot)
+                    _requeue(i, spec, attempt, log, ResourceExhausted,
+                             f"scenario {spec.display_name} could not get a "
+                             f"worker (attempt {attempt}): {err}")
+                    continue
                 child_conn.close()
+                deadline = (time.perf_counter()
+                            + policy.deadline.deadline_for(spec, repeat))
                 running[proc.sentinel] = (
                     proc, parent_conn, i, spec, attempt, slot, started,
+                    deadline, log,
                 )
-            for sentinel in conn_wait(list(running)):
-                proc, conn, i, spec, attempt, slot, started = running.pop(sentinel)
+            if not running:
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - time.perf_counter()))
+                continue
+            now = time.perf_counter()
+            wait_timeout = max(
+                0.0,
+                min(dl for (*_, dl, _log) in running.values()) - now,
+            )
+            if delayed:
+                wait_timeout = min(wait_timeout,
+                                   max(0.0, delayed[0][0] - now))
+            for sentinel in conn_wait(list(running), timeout=wait_timeout):
+                (proc, conn, i, spec, attempt, slot, started, deadline,
+                 log) = running.pop(sentinel)
                 free_slots.append(slot)
                 ended = time.perf_counter() - t_start
                 message = None
@@ -306,9 +490,12 @@ def _run_parallel(
                 conn.close()
                 if message is not None and message[0] == "ok":
                     index, result_dict, wall = message[1]
+                    consecutive = 0
                     completed[index] = (
                         ScenarioResult.from_dict(result_dict), wall, attempt,
                         slot, started, ended,
+                        log + (AttemptRecord(attempt, "ok", wall,
+                                             worker=slot),),
                     )
                 elif message is not None and message[0] == "err":
                     raise ExecError(
@@ -316,18 +503,32 @@ def _run_parallel(
                         f"{message[1]}"
                     )
                 else:  # died without reporting: a genuine worker crash
-                    if attempt > retries:
-                        raise ExecError(
-                            f"scenario {spec.display_name} "
-                            f"(digest {spec.config_digest()[:12]}) crashed its "
-                            f"worker {attempt} time(s) "
-                            f"(last exit code {proc.exitcode}); giving up"
-                        )
-                    retried += 1
-                    queue.append((i, spec, attempt + 1))
+                    _requeue(
+                        i, spec, attempt, log, WorkerCrash,
+                        f"scenario {spec.display_name} "
+                        f"(digest {spec.config_digest()[:12]}) crashed its "
+                        f"worker {attempt} time(s) "
+                        f"(last exit code {proc.exitcode}); giving up",
+                    )
+            # hung-worker monitor: reap anything past its deadline
+            now = time.perf_counter()
+            for sentinel in [s for s, entry in running.items()
+                             if entry[7] <= now]:
+                (proc, conn, i, spec, attempt, slot, started, deadline,
+                 log) = running.pop(sentinel)
+                free_slots.append(slot)
+                _reap(proc)
+                conn.close()
+                budget = deadline - (t_start + started)
+                _requeue(
+                    i, spec, attempt, log, TaskTimeout,
+                    f"scenario {spec.display_name} "
+                    f"(digest {spec.config_digest()[:12]}) exceeded its "
+                    f"{budget:.1f}s deadline on attempt {attempt}; "
+                    f"worker reaped (terminate/kill); giving up",
+                )
     finally:
         for proc, conn, *_ in running.values():
-            proc.terminate()
-            proc.join()
+            _reap(proc)
             conn.close()
-    return completed, retried
+    return completed, retried, failure_counts

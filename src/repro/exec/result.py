@@ -12,12 +12,24 @@ e2e identity tests rely on exactly that.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Any, Dict, List, Optional
 
 #: Result-serialization schema (cache entries embed it).
 RESULT_SCHEMA = "repro-scenario-result/1"
+
+
+def canonical_checksum(result_dict: Dict[str, Any]) -> str:
+    """SHA-256 over a result dict's canonical JSON form.
+
+    Defined here, next to the canonical serialization, so the integrity
+    checksum stored in cache entries and the one recomputed on read are
+    by construction the same function of the same bytes.
+    """
+    payload = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -71,6 +83,10 @@ class ScenarioResult:
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, compact separators."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def checksum(self) -> str:
+        """Content checksum of the canonical form (cache integrity)."""
+        return canonical_checksum(self.to_dict())
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "ScenarioResult":

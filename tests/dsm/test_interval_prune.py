@@ -1,0 +1,132 @@
+"""Incremental interval-log pruning: bounded memory, bitwise-identical runs.
+
+Pruning drops interval records that every peer's applied clock already
+covers — pure host-side bookkeeping read through ``peers_hook``, no
+messages, no simulated time.  The acceptance bar is therefore twofold:
+lock-heavy runs must end with a strictly smaller live log (and a nonzero
+``intervals_pruned``), and *every* simulated quantity — results, final
+time, protocol counters, GC schedule — must be bitwise identical with
+pruning on or off.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import PerfParams, SystemConfig
+from repro.dsm import SharedArray
+from repro.dsm.intervals import IntervalLog, IntervalRecord
+from repro.dsm.vectorclock import VectorClock
+
+from ..helpers import build_system, run_phases
+
+
+def prune_cfg(enabled, period=8):
+    return dataclasses.replace(
+        SystemConfig(),
+        perf=PerfParams(interval_prune=enabled, interval_prune_period=period),
+    )
+
+
+def lock_heavy_run(cfg, nprocs=3, rounds=30):
+    """A contended lock counter: every tenure closes an interval, and the
+    round-robin handoff keeps every peer's applied clock advancing (the
+    precondition for records to become prunable)."""
+    sim, rt, pool = build_system(nprocs=nprocs, cfg=cfg)
+    arr = SharedArray(rt.malloc("c", shape=(8,), dtype="float64"))
+    got = {}
+
+    def inc(ctx, pid, np_, args):
+        for _ in range(rounds):
+            yield from ctx.lock(1)
+            yield from ctx.access(arr.seg, reads=arr.full(), writes=arr.full())
+            arr.view(ctx)[0] += 1.0
+            ctx.unlock(1)
+
+    def check(ctx, pid, np_, args):
+        yield from ctx.access(arr.seg, reads=arr.full())
+        got[pid] = float(arr.view(ctx)[0])
+
+    run_phases(rt, {"inc": inc, "check": check}, ["inc", "check"])
+    return sim, rt, got
+
+
+class TestUnitPruneCovered:
+    def _log_with(self, seqs, pages_of):
+        log = IntervalLog(proc=0)
+        for seq in seqs:
+            log.add(IntervalRecord(
+                proc=0, seq=seq, vc=VectorClock.zeros(2),
+                write_ranges={p: [(0, 8)] for p in pages_of(seq)},
+            ))
+        return log
+
+    def test_drops_only_fully_covered_records(self):
+        log = self._log_with([1, 2, 3], lambda seq: [0])
+        assert log.prune_covered({0: 2}) == 2
+        assert len(log) == 1
+        assert [r.seq for r in log.records_for(0, 0, 10)] == [3]
+
+    def test_record_survives_if_any_written_page_uncovered(self):
+        log = self._log_with([1], lambda seq: [0, 1])
+        assert log.prune_covered({0: 5}) == 0  # page 1 has no cover
+        assert log.prune_covered({0: 5, 1: 1}) == 1
+        assert len(log) == 0
+        assert log.pages() == []
+
+    def test_empty_log_is_a_noop(self):
+        assert IntervalLog(proc=0).prune_covered({0: 99}) == 0
+
+
+class TestBitwiseIdentity:
+    def test_pruned_run_matches_unpruned_exactly(self):
+        sim_on, rt_on, got_on = lock_heavy_run(prune_cfg(True))
+        sim_off, rt_off, got_off = lock_heavy_run(prune_cfg(False))
+
+        assert got_on == got_off
+        assert sim_on.now == sim_off.now
+        for pid in rt_on.procs:
+            on = dataclasses.asdict(rt_on.procs[pid].stats)
+            off = dataclasses.asdict(rt_off.procs[pid].stats)
+            # the only permitted difference is the prune counter itself
+            on.pop("intervals_pruned"), off.pop("intervals_pruned")
+            assert on == off
+
+    def test_pruning_actually_fires_and_bounds_the_log(self):
+        sim, rt, got = lock_heavy_run(prune_cfg(True))
+        pruned = sum(p.stats.intervals_pruned for p in rt.procs.values())
+        assert pruned > 0
+        for proc in rt.procs.values():
+            # no GC ran, so live records + pruned records == closed
+            assert proc.stats.gcs == 0
+            assert len(proc.log) \
+                == proc.stats.intervals_closed - proc.stats.intervals_pruned
+
+    def test_disabled_pruning_drops_nothing(self):
+        sim, rt, got = lock_heavy_run(prune_cfg(False))
+        assert all(p.stats.intervals_pruned == 0 for p in rt.procs.values())
+        for proc in rt.procs.values():
+            assert len(proc.log) == proc.stats.intervals_closed
+
+
+class TestGcInteraction:
+    def test_gc_timing_is_independent_of_pruning(self):
+        """``wants_gc`` counts closes-this-epoch, not live records, so a
+        pruned log must not delay the §4.1 consistency-memory GC."""
+        small_limit = dataclasses.replace(
+            SystemConfig(),
+            dsm=dataclasses.replace(SystemConfig().dsm, gc_interval_limit=10),
+        )
+        runs = {}
+        for enabled in (True, False):
+            cfg = dataclasses.replace(
+                small_limit,
+                perf=PerfParams(interval_prune=enabled,
+                                interval_prune_period=4),
+            )
+            sim, rt, got = lock_heavy_run(cfg, nprocs=2, rounds=8)
+            runs[enabled] = (
+                got, sim.now,
+                {pid: p.stats.gcs for pid, p in rt.procs.items()},
+            )
+        assert runs[True] == runs[False]
