@@ -34,8 +34,10 @@ from .perf import (
     PerfScenario,
     calibrate_spin,
     compare_to_baseline,
+    ratio_confidence_interval,
     run_parallel_check,
     run_perfbench,
+    run_scenario_paired,
 )
 from .recovery import (
     RecoveryPoint,
@@ -116,7 +118,9 @@ __all__ = [
     "calibrate_spin",
     "compare_to_baseline",
     "run_parallel_check",
+    "ratio_confidence_interval",
     "run_perfbench",
+    "run_scenario_paired",
     "per_adaptation_summary",
     "ratio_note",
     "run_experiment",

@@ -84,8 +84,8 @@ def run_experiment(
     ``obs`` is a :class:`~repro.obs.Registry` to record spans/counters
     into (None runs uninstrumented — the pre-observability behaviour).
     """
-    sim = Simulator(trace=trace, obs=obs)
     cfg = cfg or SystemConfig()
+    sim = Simulator(trace=trace, obs=obs, batch=cfg.perf.macro_events)
     switch = Switch(sim, cfg.network)
     pool = NodePool(sim, switch)
     team_nodes = pool.add_nodes(nprocs)

@@ -21,10 +21,11 @@ Used by ``python -m repro perfbench`` (see ``--baseline`` /
 from __future__ import annotations
 
 import json
+import math
 import platform
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec import ScenarioSpec
@@ -33,6 +34,9 @@ SCHEMA = "repro-perfbench/2"
 
 #: Events in the calibration spin loop.
 SPIN_EVENTS = 100_000
+
+#: Events in the short spin paired with each scenario repeat.
+PAIR_SPIN_EVENTS = 30_000
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +224,12 @@ def scenarios(quick: bool = False, paper: bool = False) -> List[PerfScenario]:
             PerfScenario("gauss-8-quick", ScenarioSpec(
                 kernel="gauss", params={"n": 256, "iterations": 255},
                 nprocs=8, calibrated=True, label="gauss-8-quick")),
+            # Wide-cluster stressor: 32 nodes quadruple the per-barrier
+            # notice fan-out (the O(nprocs^2 * pages) single-writer
+            # rebroadcast arm) and the macro-event bucket widths.
+            PerfScenario("gauss-32-quick", ScenarioSpec(
+                kernel="gauss", params={"n": 192, "iterations": 95},
+                nprocs=32, calibrated=True, label="gauss-32-quick")),
         ]
     else:
         # The BENCH workload presets with their stock (uncalibrated)
@@ -265,6 +275,34 @@ def run_scenario(scenario: PerfScenario, repeat: int = 1) -> Dict[str, float]:
 
     report = api_run(scenario.spec, repeat=repeat)
     return _entry_from_result(report.result, report.wall_seconds)
+
+
+def run_scenario_paired(spec: "ScenarioSpec", repeats: int = 3):
+    """``repeats`` interleaved (spin, scenario) measurement pairs.
+
+    Each repeat re-calibrates a short no-op spin immediately before the
+    scenario run and records the *paired* normalized score
+    ``(events/wall) / spin`` — so machine-speed drift (thermal throttling,
+    a neighbour stealing the core mid-suite) is cancelled per sample, not
+    once per suite.  Returns ``(result, best_wall, samples)``; the sample
+    list is what :func:`compare_to_baseline` feeds its confidence
+    interval.
+    """
+    from ..api import run as api_run
+
+    samples: List[float] = []
+    best_wall = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        spin = calibrate_spin(PAIR_SPIN_EVENTS)
+        rep = api_run(spec)
+        wall = rep.wall_seconds
+        result = rep.result
+        if wall < best_wall:
+            best_wall = wall
+        if wall > 0 and spin > 0:
+            samples.append((result.events / wall) / spin)
+    return result, best_wall, samples
 
 
 # ---------------------------------------------------------------------------
@@ -372,6 +410,14 @@ def run_perfbench(
     ``cache`` (a :class:`~repro.exec.ResultCache`) replays previously
     measured entries — their wall numbers come from the run that stored
     them and are marked ``"cached": true``.
+
+    Single-job uncached runs measure each scenario via
+    :func:`run_scenario_paired`, recording per-repeat spin-normalized
+    ``samples`` alongside the best-wall summary; those samples power the
+    confidence-interval regression gate.  Sharded or cache-replayed runs
+    keep the sweep path (no samples — cached walls and cross-worker
+    timing cannot be paired honestly), and the gate falls back to the
+    point comparison for them.
     """
     from ..api import sweep
 
@@ -384,18 +430,32 @@ def run_perfbench(
         "vc_tick_per_sec": micro_vc_tick(),
     }
     scen = scenarios(quick=quick, paper=paper)
-    outcome = sweep(
-        [s.spec for s in scen], jobs=jobs, cache=cache, refresh=refresh,
-        repeat=repeat,
-    )
     results: Dict[str, Dict[str, float]] = {}
-    for scenario, task in zip(scen, outcome.outcomes):
-        entry = _entry_from_result(task.result, task.wall_seconds,
-                                   cached=task.cached)
-        entry["normalized_score"] = (
-            entry["events_per_sec"] / spin if spin > 0 else 0.0
+    cache_stats = None
+    if jobs == 1 and cache is None:
+        for scenario in scen:
+            result, wall, samples = run_scenario_paired(scenario.spec, repeat)
+            entry = _entry_from_result(result, wall)
+            entry["normalized_score"] = (
+                entry["events_per_sec"] / spin if spin > 0 else 0.0
+            )
+            entry["samples"] = samples
+            results[scenario.name] = entry
+    else:
+        outcome = sweep(
+            [s.spec for s in scen], jobs=jobs, cache=cache, refresh=refresh,
+            repeat=repeat,
         )
-        results[scenario.name] = entry
+        cache_stats = (
+            outcome.cache_stats.as_dict() if cache is not None else None
+        )
+        for scenario, task in zip(scen, outcome.outcomes):
+            entry = _entry_from_result(task.result, task.wall_seconds,
+                                       cached=task.cached)
+            entry["normalized_score"] = (
+                entry["events_per_sec"] / spin if spin > 0 else 0.0
+            )
+            results[scenario.name] = entry
     report = {
         "schema": SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -404,7 +464,7 @@ def run_perfbench(
         "quick": quick,
         "repeat": repeat,
         "jobs": jobs,
-        "cache": outcome.cache_stats.as_dict() if cache is not None else None,
+        "cache": cache_stats,
         "calibration": {"spin_events_per_sec": spin, "spin_events": SPIN_EVENTS},
         "micro": micro,
         "results": results,
@@ -425,22 +485,95 @@ def load_report(path: str) -> Dict:
         return json.load(fh)
 
 
+# Two-sided 95% Student-t critical values; the largest tabulated df not
+# exceeding the Welch estimate is used, which rounds the interval wider
+# (conservative: harder to flag a regression by chance).
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 12: 2.179, 15: 2.131,
+    20: 2.086, 25: 2.060, 30: 2.042, 60: 2.000, 120: 1.980,
+}
+
+
+def _t95(df: float) -> float:
+    crit = _T95[1]
+    for k in sorted(_T95):
+        if k <= df:
+            crit = _T95[k]
+    return crit
+
+
+def _geomean(samples: Sequence[float]) -> float:
+    logs = [math.log(s) for s in samples if s > 0]
+    return math.exp(sum(logs) / len(logs)) if logs else 0.0
+
+
+def ratio_confidence_interval(
+    new_samples: Sequence[float], base_samples: Sequence[float]
+) -> Optional[Tuple[float, float]]:
+    """95% CI for the geometric-mean score ratio new/base.
+
+    Welch's t interval on the difference of mean log-scores (log space
+    because the paired scores are ratios themselves, and wall-clock noise
+    is multiplicative).  Returns multiplicative ``(lo, hi)`` bounds, or
+    ``None`` when either side has fewer than two positive samples — the
+    caller must then fall back to a point comparison.
+    """
+    a = [math.log(s) for s in new_samples if s > 0]
+    b = [math.log(s) for s in base_samples if s > 0]
+    if len(a) < 2 or len(b) < 2:
+        return None
+    n1, n2 = len(a), len(b)
+    m1, m2 = sum(a) / n1, sum(b) / n2
+    v1 = sum((x - m1) ** 2 for x in a) / (n1 - 1)
+    v2 = sum((x - m2) ** 2 for x in b) / (n2 - 1)
+    d = m1 - m2
+    se2 = v1 / n1 + v2 / n2
+    if se2 <= 0.0:
+        return (math.exp(d), math.exp(d))
+    # Welch–Satterthwaite degrees of freedom.
+    df = se2 ** 2 / ((v1 / n1) ** 2 / (n1 - 1) + (v2 / n2) ** 2 / (n2 - 1))
+    half = _t95(df) * math.sqrt(se2)
+    return (math.exp(d - half), math.exp(d + half))
+
+
 def compare_to_baseline(
     report: Dict, baseline: Dict, max_regression: float = 0.30
 ) -> List[Tuple[str, float, float, float]]:
     """Regressions of ``report`` vs ``baseline``.
 
-    Compares ``normalized_score`` per scenario (machine-speed cancelled by
-    the calibration spin).  Returns ``(name, baseline_score, new_score,
-    regression_fraction)`` for every scenario whose score dropped by more
-    than ``max_regression``.  Scenarios present in only one report are
-    ignored (presets may evolve).
+    Two modes, chosen per scenario:
+
+    * **Paired confidence-interval gate** — when both entries carry
+      ``samples`` (the per-repeat spin-normalized scores recorded by
+      single-job runs), the scenario is flagged only when the *entire*
+      95% Welch interval for the geometric-mean ratio new/old lies below
+      ``1 - max_regression``: the drop is statistically resolved, not a
+      lucky or unlucky wall-clock draw.  An improvement, a wash, or an
+      interval still straddling the allowance all pass.
+    * **Point fallback** — when either side predates samples (older
+      committed baselines, sharded or cache-replayed runs), the single
+      ``normalized_score`` comparison is used unchanged.
+
+    Returns ``(name, baseline_score, new_score, regression_fraction)``
+    for every flagged scenario (geometric means in CI mode).  Scenarios
+    present in only one report are ignored (presets may evolve).
     """
     regressions = []
     base_results = baseline.get("results", {})
     for name, entry in report.get("results", {}).items():
         base = base_results.get(name)
         if base is None:
+            continue
+        ci = ratio_confidence_interval(
+            entry.get("samples") or (), base.get("samples") or ()
+        )
+        if ci is not None:
+            _, hi = ci
+            if hi < 1.0 - max_regression:
+                old = _geomean(base["samples"])
+                new = _geomean(entry["samples"])
+                regressions.append((name, old, new, 1.0 - new / old))
             continue
         old = base.get("normalized_score", 0.0)
         new = entry.get("normalized_score", 0.0)

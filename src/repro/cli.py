@@ -527,7 +527,7 @@ def cmd_perfbench(args) -> int:
             return 2
         baseline_path = args.compare
         if max_regression is None:
-            max_regression = 0.20
+            max_regression = 0.10
     if max_regression is None:
         max_regression = 0.30
     repeat = args.repeat
@@ -837,22 +837,25 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--paper", action="store_true",
                       help="also run the full Table-1 Jacobi configuration")
     perf.add_argument("--repeat", type=int, default=None,
-                      help="repetitions per scenario (best wall time wins; "
-                           "default 1, or 3 with --quick so the CI perf "
-                           "gate measures best-of-3 rather than one noisy "
-                           "sample)")
+                      help="measurement pairs per scenario; single-job runs "
+                           "interleave a spin calibration with every repeat "
+                           "and record the paired normalized scores the "
+                           "confidence-interval gate consumes (default 1, "
+                           "or 3 with --quick)")
     perf.add_argument("--out", default="BENCH_perf.json",
                       help="where to write the JSON report")
     perf.add_argument("--baseline", default=None,
                       help="baseline BENCH_perf.json to gate against")
     perf.add_argument("--compare", metavar="FILE", default=None,
-                      help="regression gate: compare normalized scores "
-                           "against FILE and exit non-zero on a >20%% drop "
-                           "(shorthand for --baseline FILE "
-                           "--max-regression 0.20)")
+                      help="regression gate against FILE: fails only when "
+                           "the 95%% confidence interval of the paired "
+                           "spin-normalized score ratio resolves a drop "
+                           "beyond the allowance (shorthand for "
+                           "--baseline FILE --max-regression 0.10; point "
+                           "comparison when either report lacks samples)")
     perf.add_argument("--max-regression", type=float, default=None,
                       help="allowed normalized-score drop vs the baseline "
-                           "(default 0.30, or 0.20 with --compare)")
+                           "(default 0.30, or 0.10 with --compare)")
     perf.add_argument("--cache", action="store_true",
                       help="replay scenario entries from the result cache "
                            "(off by default: perfbench measures wall clock)")

@@ -222,6 +222,18 @@ class PerfParams:
     wall-clock performance".
     """
 
+    #: Execute independent events as batched macro-events: the simulator
+    #: drains whole ``(time, priority)`` runs in one call (bucketed queue,
+    #: no per-event heap traffic), dispatches pre-bound ``(callback,
+    #: value)`` actions without closure allocation, schedules one
+    #: macro-event for homogeneous groups (bulk diff application, barrier
+    #: arrival folds) and fast-forwards analytically through quiescent
+    #: compute phases.  Bitwise identical to the event-by-event reference
+    #: path (``macro_events=False``), including ``events_executed`` and
+    #: every ``repro.obs`` span/counter; the off position is the reference
+    #: the identity tests compare against.  See docs/PROTOCOL.md §10.
+    macro_events: bool = True
+
     #: Memoize the per-(segment, reads, writes) page/range computation of
     #: ``DsmProcess.access``.  Pure memoization of a deterministic function
     #: — results are bitwise identical with the cache on or off.

@@ -147,18 +147,41 @@ class Diff:
         return key
 
 
-@dataclass(slots=True)
-class WriteNotice:
-    """Advertisement that ``proc``'s interval ``seq`` wrote ``page``."""
+#: Bits reserved for the page id in packed ``(seq << PAGE_BITS) | page``
+#: notice keys (see :attr:`WriteNotice.key`).  Page ids are checked against
+#: this bound at map time (:meth:`repro.dsm.page.PageTable.map_page`).
+PAGE_BITS = 21
 
-    proc: int
-    seq: int
-    page: int
-    vc: VectorClock
+
+class WriteNotice:
+    """Advertisement that ``proc``'s interval ``seq`` wrote ``page``.
+
+    A hand-rolled slots class rather than a dataclass: one notice is
+    created per (interval, page) at the writer — tens of thousands per
+    run — and the generated ``__init__``/``__post_init__`` pair is
+    measurable at that volume.
+    """
+
+    __slots__ = ("proc", "seq", "page", "vc", "key")
+
+    def __init__(self, proc: int, seq: int, page: int, vc: VectorClock):
+        self.proc = proc
+        self.seq = seq
+        self.page = page
+        self.vc = vc
+        #: Packed ``(seq << PAGE_BITS) | page`` — the per-writer bucket
+        #: sort / dedupe key of the consistency engine.  Computed at
+        #: construction: the notice is built once at the writer but
+        #: indexed at every receiver.
+        self.key = (seq << PAGE_BITS) | page
 
     def covered_by(self, applied: VectorClock) -> bool:
         """True if the advertised writes are already in a copy with ``applied``."""
         return applied.covers_interval(self.proc, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"WriteNotice(proc={self.proc}, seq={self.seq}, "
+                f"page={self.page})")
 
 
 @dataclass(slots=True)

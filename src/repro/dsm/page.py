@@ -15,10 +15,15 @@ single or multiple writer"):
   page from the current owner; no twins or diffs.  Used for Gauss/FFT/NBF,
   which is why Table 1 reports zero diffs for them.
 
-The entry also keeps a per-writer maximum pending sequence
-(:attr:`PageTableEntry.pending_by_writer`) updated incrementally as
-notices arrive, so a fault can plan its diff requests without re-scanning
-the pending list — this is on the engine's hottest path.
+Pending invalidations are stored per writer
+(:attr:`PageTableEntry.pending_by_writer` — writer pid to that writer's
+*latest* pending notice).  Only the newest interval per writer matters:
+diff requests fetch the whole ``(applied, latest]`` range from each
+writer, and the single-writer refresh needs the most recent writer's
+clock, which the latest notice carries.  One dict entry per writer is
+therefore the complete invalidation state, and notice ingestion — the
+engine's hottest path — pays one dict get/set per notice instead of a
+list append plus key-set insert plus dict update.
 """
 
 from __future__ import annotations
@@ -62,22 +67,23 @@ class PageTableEntry:
     owner: int = 0
     #: Writes of which intervals are reflected in our copy.
     applied: Optional[VectorClock] = None
-    #: Notices that invalidated the page and are not yet applied.
-    pending: List[WriteNotice] = field(default_factory=list)
-    #: (proc, seq) keys of ``pending`` for O(1) duplicate detection.
-    _pending_keys: set = field(default_factory=set, repr=False)
-    #: writer pid -> highest pending interval seq (incrementally maintained
-    #: so faults need not rescan ``pending``).
-    pending_by_writer: Dict[int, int] = field(default_factory=dict, repr=False)
+    #: writer pid -> that writer's latest pending (un-applied) notice.
+    #: Empty means no invalidation is outstanding.
+    pending_by_writer: Dict[int, WriteNotice] = field(default_factory=dict)
     #: Twin (pristine pre-write copy) in materialized mode.
     twin: Optional[np.ndarray] = None
     #: GC epoch in which this process last accessed the page (§5.4 c5).
     last_access_epoch: int = -1
 
     @property
+    def pending(self) -> List[WriteNotice]:
+        """Pending notices, one (the latest) per writer — inspection view."""
+        return list(self.pending_by_writer.values())
+
+    @property
     def readable(self) -> bool:
         """A fault-free read is possible: valid copy with nothing pending."""
-        return self.valid and not self.pending
+        return self.valid and not self.pending_by_writer
 
     def add_notice(self, notice: WriteNotice) -> None:
         """Record an invalidating write notice (idempotent)."""
@@ -86,44 +92,25 @@ class PageTableEntry:
         applied = self.applied
         if applied is not None and applied.entries[proc] >= seq:
             return
-        key = (proc, seq)
-        keys = self._pending_keys
-        if key in keys:
-            return
-        keys.add(key)
-        self.pending.append(notice)
         by_writer = self.pending_by_writer
         prev = by_writer.get(proc)
-        if prev is None or seq > prev:
-            by_writer[proc] = seq
+        if prev is None or seq > prev.seq:
+            by_writer[proc] = notice
         self.mode = AccessMode.NONE  # next access faults
-
-    def _reindex_pending(self) -> None:
-        self._pending_keys = {(n.proc, n.seq) for n in self.pending}
-        by_writer: Dict[int, int] = {}
-        for n in self.pending:
-            prev = by_writer.get(n.proc)
-            if prev is None or n.seq > prev:
-                by_writer[n.proc] = n.seq
-        self.pending_by_writer = by_writer
 
     def prune_pending(self) -> None:
         """Drop pending notices now covered by the applied clock."""
         applied = self.applied
-        pending = self.pending
-        if applied is None or not pending:
+        by_writer = self.pending_by_writer
+        if applied is None or not by_writer:
             return
         entries = applied.entries
-        kept = [n for n in pending if entries[n.proc] < n.seq]
-        if len(kept) == len(pending):
-            return  # nothing covered: pending (and its indexes) unchanged
-        self.pending = kept
-        self._reindex_pending()
+        covered = [p for p, n in by_writer.items() if entries[p] >= n.seq]
+        for p in covered:
+            del by_writer[p]
 
     def clear_pending(self) -> None:
         """Drop all pending notices (after fetching them)."""
-        self.pending.clear()
-        self._pending_keys.clear()
         self.pending_by_writer.clear()
 
 

@@ -28,7 +28,7 @@ from ..network import message as mk
 from ..network.message import Message
 from ..simcore import Channel, Simulator, Store
 from .diffs import apply_diffs_in_order, make_diff
-from .intervals import Diff, IntervalLog, IntervalRecord, WriteNotice
+from .intervals import PAGE_BITS, Diff, IntervalLog, IntervalRecord, WriteNotice
 from .memory import AddressSpace, LocalStore, SharedSegment
 from .page import AccessMode, PageTable, PageTableEntry, Protocol
 from .plans import build_plan
@@ -43,7 +43,9 @@ from .vectorclock import VectorClock
 #: dominant cost of the old triple-keyed ``seen`` dict.  Page ids are
 #: bounded at map time (:meth:`PageTable.map_page`); seqs above 2**21 pack
 #: into larger ints with ordering intact, so only the page bound matters.
-_PAGE_BITS = 21
+#: Notices precompute their own key at construction
+#: (:attr:`~repro.dsm.intervals.WriteNotice.key`).
+_PAGE_BITS = PAGE_BITS
 
 #: Message kinds routed to the main coroutine rather than a handler.
 MAIN_KINDS = frozenset(
@@ -266,6 +268,10 @@ class DsmProcess:
         match = (
             lambda m, s=self: m.dst_pid is None or m.dst_pid == s.pid
         )  # noqa: E731
+        # Handler names cached per kind (two f-strings per dispatched
+        # request otherwise); invalidated when adaptation renumbers us.
+        names: dict = {}
+        names_pid = self.pid
         while True:
             msg = yield inbox.recv(match=match)
             if msg.kind in MAIN_KINDS:
@@ -283,9 +289,16 @@ class DsmProcess:
                     if msg.req_id in self._inflight_reqs:
                         continue  # duplicate of a request already in service
                     self._inflight_reqs.add(msg.req_id)
+                kind = msg.kind
+                if self.pid != names_pid:
+                    names_pid = self.pid
+                    names = {}
+                name = names.get(kind)
+                if name is None:
+                    name = names[kind] = f"{self.name}.h.{kind}"
                 handler = self.sim.process(
                     self._dispatch(msg),
-                    name=f"{self.name}.h.{msg.kind}",
+                    name=name,
                     daemon=True,
                 )
                 # Reap finished handlers lazily: only when at least one has
@@ -508,10 +521,10 @@ class DsmProcess:
         multiple-writer common case — synchronization batches carry
         hundreds of notices (the master re-broadcasts every slave's
         notices at each barrier), making this the engine's hottest loop.
-        Behaviour is identical; the inline path may merely skip the
-        per-entry ``_pending_keys`` bookkeeping because the bucket dedupe
-        already guarantees a (proc, seq, page) triple is applied at most
-        once (``prune_pending`` rebuilds the key set from ``pending``).
+        Behaviour is identical; the inline arm is
+        ``PageTableEntry.add_notice`` minus the covered-check reload (the
+        bucket dedupe already guarantees a (proc, seq, page) triple is
+        applied at most once).
 
         Dedupe and indexing are one operation: each writer's bucket is
         sorted by the packed ``(seq << _PAGE_BITS) | page`` key, batches
@@ -525,7 +538,10 @@ class DsmProcess:
         table_entries = self.table._entries
         my_pid = self.pid
         mw = Protocol.MULTIPLE_WRITER
+        sw = Protocol.SINGLE_WRITER
         mode_none = AccessMode.NONE
+        current_writes = self.current_writes
+        owners = self.owners
         n_total = len(notices)
         i = 0
         while i < n_total:
@@ -537,7 +553,7 @@ class DsmProcess:
                 j += 1
             run = notices[i:j]
             i = j
-            run_keys = [(n.seq << _PAGE_BITS) | n.page for n in run]
+            run_keys = [n.key for n in run]
             pair = seen_by_proc.get(proc)
             if pair is None:
                 pair = seen_by_proc[proc] = ([], [])
@@ -586,14 +602,36 @@ class DsmProcess:
                     # inline pte.add_notice for the multiple-writer case
                     if pte.applied.entries[proc] >= seq:
                         continue
-                    pte.pending.append(n)
                     by_writer = pte.pending_by_writer
                     prev = by_writer.get(proc)
-                    if prev is None or seq > prev:
-                        by_writer[proc] = seq
+                    if prev is None or seq > prev.seq:
+                        by_writer[proc] = n
                     pte.mode = mode_none
                 else:
-                    self._apply_notice_single_writer(n, pte, proc, seq, page)
+                    # inline _apply_notice_single_writer: the demote check
+                    # plus add_notice, minus the repeated covered reload —
+                    # page-aligned kernels (Gauss/FFT/NBF) funnel every
+                    # notice of every barrier broadcast through this arm.
+                    applied_entries = pte.applied.entries
+                    if applied_entries[proc] < seq:
+                        own_seq = applied_entries[my_pid]
+                        if (
+                            own_seq > 0 and n.vc.entries[my_pid] < own_seq
+                        ) or page in current_writes:
+                            pte.protocol = mw
+                            self.sim.tracer.emit(
+                                "dsm", "demote",
+                                f"{self.name} pg{page} -> multiple-writer",
+                            )
+                        by_writer = pte.pending_by_writer
+                        prev = by_writer.get(proc)
+                        if prev is None or seq > prev.seq:
+                            by_writer[proc] = n
+                        pte.mode = mode_none
+                    if pte.protocol is sw:
+                        # The latest writer holds the complete page.
+                        pte.owner = proc
+                        owners[page] = proc
         self.vc.merge(sender_vc)
 
     def _apply_notice_single_writer(
@@ -620,7 +658,7 @@ class DsmProcess:
 
     def _index_notice(self, notice: WriteNotice) -> bool:
         """Insert into the per-writer bucket; False if already known."""
-        key = (notice.seq << _PAGE_BITS) | notice.page
+        key = notice.key
         pair = self._seen_by_proc.get(notice.proc)
         if pair is None:
             self._seen_by_proc[notice.proc] = ([key], [notice])
@@ -696,7 +734,7 @@ class DsmProcess:
             # Fast path: a valid, up-to-date copy needs no fault — skip
             # the _ensure_access generator machinery entirely.
             pte = table_get(page)
-            if pte is None or not pte.valid or pte.pending:
+            if pte is None or not pte.valid or pte.pending_by_writer:
                 yield from self._ensure_access(page, write=is_write)
                 if is_write:
                     prev = current_writes.get(page)
@@ -798,14 +836,14 @@ class DsmProcess:
         """Fault in one page for read or write access."""
         pte = self._pte(page)
         pte.last_access_epoch = self.epoch
-        needs_fetch = (not pte.valid) or bool(pte.pending)
+        needs_fetch = (not pte.valid) or bool(pte.pending_by_writer)
         if needs_fetch:
             t0 = self.sim.now
             self.stats.read_faults += 0 if write else 1
             self.stats.write_faults += 1 if write else 0
             if not pte.valid:
                 yield from self._fetch_page(pte, self.owner_of(page))
-            if pte.pending:
+            if pte.pending_by_writer:
                 yield from self._fetch_pending(pte)
             self.stats.fault_wait_time += self.sim.now - t0
             obs = self.sim.obs
@@ -847,10 +885,16 @@ class DsmProcess:
     def _fetch_pending(self, pte: PageTableEntry) -> Generator:
         """Bring a stale copy up to date (diffs, or full page re-fetch)."""
         if pte.protocol is Protocol.SINGLE_WRITER:
-            latest = max(pte.pending, key=lambda n: (*n.vc.sort_key(), -n.proc))
+            # One notice per writer suffices here: a writer's later interval
+            # clock dominates its earlier ones, so the per-writer latest
+            # notice attains the maximum.
+            latest = max(
+                pte.pending_by_writer.values(),
+                key=lambda n: (*n.vc.sort_key(), -n.proc),
+            )
             yield from self._fetch_page_refresh(pte, latest.proc)
             pte.prune_pending()
-            if not pte.pending:
+            if not pte.pending_by_writer:
                 return
             # Concurrent writers after all: demote and fall through to the
             # diff path for the remaining intervals.
@@ -858,8 +902,6 @@ class DsmProcess:
             self.sim.tracer.emit(
                 "dsm", "demote", f"{self.name} pg{pte.page} -> multiple-writer"
             )
-        # Incrementally maintained by PageTableEntry.add_notice — no rescan
-        # of the pending list on this hot path.
         by_writer = pte.pending_by_writer
         t_fetch = self.sim.now
         collected: List[Diff] = []
@@ -867,7 +909,7 @@ class DsmProcess:
             if writer == self.pid:
                 raise ProtocolError(f"{self.name}: pending notice from self")
             from_seq = pte.applied.entries[writer]
-            to_seq = by_writer[writer]
+            to_seq = by_writer[writer].seq
             reply = yield from self.request_reply(
                 mk.DIFF_REQ,
                 writer,
@@ -887,8 +929,8 @@ class DsmProcess:
             dirty += diff.dirty_bytes
         # Notices may name intervals that produced no diff for this page
         # (e.g. a write of identical bytes); cover them explicitly.
-        for writer, seq in by_writer.items():
-            applied.advance(writer, seq)
+        for writer, notice in by_writer.items():
+            applied.advance(writer, notice.seq)
         self.stats.diffs_fetched += len(collected)
         obs = self.sim.obs
         if obs.enabled:
@@ -1017,9 +1059,8 @@ class DsmProcess:
         if pair is None:
             pair = self._seen_by_proc[pid] = ([], [])
         keys, bucket = pair
-        seq_bits = seq << _PAGE_BITS
         for n in notices:
-            keys.append(seq_bits | n.page)
+            keys.append(n.key)
             bucket.append(n)
         return notices
 
@@ -1149,7 +1190,7 @@ class DsmProcess:
                 raise ProtocolError(
                     f"{self.name}: GC made us owner of page {page} we never wrote"
                 )
-            if pte.pending:
+            if pte.pending_by_writer:
                 yield from self._fetch_pending(pte)
         self._gc_pending_owners = new_owners
 

@@ -91,8 +91,14 @@ class Nic:
     def _complete_request(self, req_id: int) -> None:
         self._pending_reqs.discard(req_id)
 
-    def deliver(self, msg: Message) -> None:
-        """Route an arriving message to the proper queue."""
+    def deliver(self, msg: Message, _exc=None) -> None:
+        """Route an arriving message to the proper queue.
+
+        ``_exc`` is unused; it makes ``deliver`` a valid tuple-action
+        target (the event queue invokes ``(f, v)`` actions as
+        ``f(v, None)``), so the switch schedules deliveries without
+        allocating a closure per message.
+        """
         if msg.is_reply:
             if (
                 self._unreliable_wire()

@@ -20,7 +20,7 @@ from .message import DIFF_REPLY, PAGE_BATCH_REPLY, PAGE_REPLY, Message
 _PAGE_KINDS = (PAGE_REPLY, "sc_data")
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficSnapshot:
     """Immutable view of the counters at one instant."""
 

@@ -81,7 +81,7 @@ class Switch:
         if msg.src == msg.dst:
             # Local delivery never touches the wire (and costs no wire time).
             msg.arrived_at = self.sim.now
-            self.sim.schedule(0.0, lambda: dst_nic.deliver(msg))
+            self.sim.schedule(0.0, (dst_nic.deliver, msg))
             return self.sim.now
 
         params = self.params
@@ -146,9 +146,9 @@ class Switch:
                 )
                 self.sim.at(
                     arrival + self.params.one_way_latency,
-                    lambda: dst_nic.deliver(msg),
+                    (dst_nic.deliver, msg),
                 )
-        self.sim.at(arrival, lambda: dst_nic.deliver(msg))
+        self.sim.at(arrival, (dst_nic.deliver, msg))
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.emit("net", msg.kind, f"{msg.src}->{msg.dst} {wire_bytes}B")

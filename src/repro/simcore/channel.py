@@ -38,7 +38,9 @@ class _Recv(Waitable):
     def _deliver(self, item: Any) -> None:
         assert self._callback is not None
         cb, self._callback = self._callback, None
-        self._channel._sim._queue.push(self._channel._sim.now, lambda: cb(item, None))
+        # Pre-bound (callback, value) action: the engine calls cb(item, None)
+        # directly, with no closure allocated per delivery.
+        self._channel._sim._queue.push(self._channel._sim.now, (cb, item))
 
 
 class Channel:

@@ -47,13 +47,34 @@ class Timeout(Waitable):
 
     def subscribe(self, callback: Callback) -> None:
         self._event = self._sim._queue.push(
-            self._sim.now + self.delay, lambda: callback(self.value, None)
+            self._sim.now + self.delay, (callback, self.value)
         )
 
     def unsubscribe(self, callback: Callback) -> None:
         if self._event is not None:
             self._event.cancel()
             self._event = None
+
+
+class ComputeSpan(Timeout):
+    """A :class:`Timeout` declared to the engine as a *compute span*.
+
+    Semantically identical to a plain timeout — same ordering, same
+    resumption, same ``events_executed`` accounting.  The only difference
+    is that its completion event is pushed with ``push_span``, marking it
+    quiescence-exempt: when every outstanding event in the batched engine
+    is a span completion, the engine fast-forwards the clock through them
+    arithmetically instead of running the heap (see
+    ``Simulator._run_batched``).  Model layers use this for pre-computed
+    work charges whose completion cannot be influenced by other events —
+    per-process compute spans in particular.
+    """
+
+    def subscribe(self, callback: Callback) -> None:
+        sim = self._sim
+        self._event = sim._queue.push_span(
+            sim.now + self.delay, (callback, self.value)
+        )
 
 
 class Signal(Waitable):
@@ -73,7 +94,7 @@ class Signal(Waitable):
 
     def subscribe(self, callback: Callback) -> None:
         if self.fired:
-            self._sim._queue.push(self._sim.now, lambda: callback(self.value, None))
+            self._sim._queue.push(self._sim.now, (callback, self.value))
         else:
             self._waiters.append(callback)
 
@@ -90,8 +111,10 @@ class Signal(Waitable):
         self.fired = True
         self.value = value
         waiters, self._waiters = self._waiters, []
+        push = self._sim._queue.push
+        now = self._sim.now
         for cb in waiters:
-            self._sim._queue.push(self._sim.now, lambda cb=cb: cb(value, None))
+            push(now, (cb, value))
 
 
 class SimProcess(Waitable):
@@ -115,18 +138,32 @@ class SimProcess(Waitable):
         self.alive = True
         self.result: Any = None
         self.error: Optional[BaseException] = None
-        self._done = Signal(sim, name=f"{name}.done")
+        #: Completion signal, created lazily on the first join — most
+        #: processes (request handlers in particular) are never joined,
+        #: and the signal allocation sits on the spawn hot path.
+        self._done: Optional[Signal] = None
         self._current_wait: Optional[Waitable] = None
         self._resume_cb: Callback = self._step
-        sim._queue.push(sim.now, lambda: self._step(None, None), priority=_ev.NORMAL)
+        sim._queue.push(sim.now, (self._step, None), priority=_ev.NORMAL)
         sim._register(self)
 
     # -- Waitable interface (join) ------------------------------------
+    def _done_signal(self) -> Signal:
+        done = self._done
+        if done is None:
+            done = self._done = Signal(self._sim, name=f"{self.name}.done")
+            if not self.alive:
+                # Terminated before anyone joined: pre-fire so late
+                # subscribers resume immediately, as Signal guarantees.
+                done.fired = True
+                done.value = self.result
+        return done
+
     def subscribe(self, callback: Callback) -> None:
-        self._done.subscribe(callback)
+        self._done_signal().subscribe(callback)
 
     def unsubscribe(self, callback: Callback) -> None:
-        self._done.unsubscribe(callback)
+        self._done_signal().unsubscribe(callback)
 
     # -- engine --------------------------------------------------------
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
@@ -163,7 +200,9 @@ class SimProcess(Waitable):
         self.result = result
         self.error = error
         self._sim._unregister(self)
-        self._done.fire(result)
+        done = self._done
+        if done is not None:
+            done.fire(result)
 
     def kill(self) -> None:
         """Fail-stop termination: the process stops where it stands.

@@ -30,7 +30,7 @@ class _Acquire(Waitable):
         assert self._callback is not None
         cb, self._callback = self._callback, None
         sim = self._resource._sim
-        sim._queue.push(sim.now, lambda: cb(self._resource, None))
+        sim._queue.push(sim.now, (cb, self._resource))
 
 
 class Resource:

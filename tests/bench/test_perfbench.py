@@ -12,18 +12,30 @@ from repro.bench.perf import (
     load_report,
     micro_notice_apply,
     micro_plan_lookup,
+    ratio_confidence_interval,
     run_scenario,
+    run_scenario_paired,
     scenarios,
     write_report,
 )
 
 
-def entry(score):
-    return {"normalized_score": score}
+def entry(score, samples=None):
+    e = {"normalized_score": score}
+    if samples is not None:
+        e["samples"] = list(samples)
+    return e
 
 
 def report(scores):
     return {"schema": SCHEMA, "results": {k: entry(v) for k, v in scores.items()}}
+
+
+def sampled_report(sample_map):
+    results = {
+        k: entry(sum(v) / len(v), samples=v) for k, v in sample_map.items()
+    }
+    return {"schema": SCHEMA, "results": results}
 
 
 class TestCompareToBaseline:
@@ -68,6 +80,77 @@ class TestCompareToBaseline:
         assert compare_to_baseline(new, base, max_regression=0.0) == []
 
 
+class TestRatioConfidenceInterval:
+    def test_requires_two_samples_each_side(self):
+        assert ratio_confidence_interval([1.0], [1.0, 1.1]) is None
+        assert ratio_confidence_interval([1.0, 1.1], [1.0]) is None
+        assert ratio_confidence_interval([], []) is None
+        # Non-positive samples are discarded before the count check.
+        assert ratio_confidence_interval([1.0, 0.0], [1.0, 1.1]) is None
+
+    def test_identical_samples_give_point_interval(self):
+        lo, hi = ratio_confidence_interval([2.0, 2.0], [1.0, 1.0])
+        assert lo == pytest.approx(2.0) and hi == pytest.approx(2.0)
+
+    def test_interval_brackets_true_ratio(self):
+        new = [0.50, 0.52, 0.48, 0.51]
+        base = [1.00, 1.04, 0.96, 1.02]
+        lo, hi = ratio_confidence_interval(new, base)
+        assert lo < 0.5 < hi
+        assert hi < 0.6  # tight samples resolve a clear 2x drop
+
+    def test_noise_widens_interval(self):
+        tight = ratio_confidence_interval([1.0, 1.01], [1.0, 1.01])
+        loose = ratio_confidence_interval([0.5, 2.0], [0.5, 2.0])
+        assert (tight[1] - tight[0]) < (loose[1] - loose[0])
+
+
+class TestConfidenceGate:
+    def test_resolved_regression_flags(self):
+        base = sampled_report({"a": [1.00, 1.02, 0.98]})
+        new = sampled_report({"a": [0.50, 0.51, 0.49]})
+        regs = compare_to_baseline(new, base, max_regression=0.10)
+        assert len(regs) == 1
+        name, old, cur, drop = regs[0]
+        assert name == "a"
+        assert drop == pytest.approx(0.5, abs=0.02)
+
+    def test_noisy_drop_within_interval_passes(self):
+        # Point scores drop ~35% (would fail the old 20% point gate), but
+        # the samples are too noisy to resolve the drop at 95% confidence.
+        base = sampled_report({"a": [0.6, 1.0, 1.6]})
+        new = sampled_report({"a": [0.4, 0.65, 1.05]})
+        assert compare_to_baseline(new, base, max_regression=0.10) == []
+
+    def test_small_confident_drop_within_allowance_passes(self):
+        base = sampled_report({"a": [1.00, 1.01, 0.99]})
+        new = sampled_report({"a": [0.95, 0.96, 0.94]})  # clear 5% drop
+        assert compare_to_baseline(new, base, max_regression=0.10) == []
+
+    def test_falls_back_to_point_compare_without_samples(self):
+        base = report({"a": 1.0})  # e.g. a baseline from an older schema
+        new = sampled_report({"a": [0.5, 0.51, 0.49]})
+        regs = compare_to_baseline(new, base, max_regression=0.30)
+        assert len(regs) == 1 and regs[0][0] == "a"
+
+    def test_improvement_with_samples_never_flags(self):
+        base = sampled_report({"a": [1.0, 1.01, 0.99]})
+        new = sampled_report({"a": [2.0, 2.02, 1.98]})
+        assert compare_to_baseline(new, base, max_regression=0.0) == []
+
+
+class TestPairedMeasurement:
+    def test_run_scenario_paired_records_samples(self):
+        from repro.exec import ScenarioSpec
+
+        spec = ScenarioSpec(kernel="jacobi", params={"n": 48, "iterations": 3},
+                            nprocs=4, calibrated=True)
+        result, wall, samples = run_scenario_paired(spec, repeats=2)
+        assert result.events > 0 and wall > 0
+        assert len(samples) == 2
+        assert all(s > 0 for s in samples)
+
+
 class TestReportIO:
     def test_write_load_roundtrip(self, tmp_path):
         rep = report({"a": 1.25})
@@ -85,8 +168,12 @@ class TestScenarios:
         default = scenarios()
         quick = scenarios(quick=True)
         assert [s.name for s in default] == ["jacobi-8", "gauss-8"]
-        assert [s.name for s in quick] == ["jacobi-8-quick", "gauss-8-quick"]
-        assert all(isinstance(s, PerfScenario) and s.nprocs == 8 for s in default + quick)
+        assert [s.name for s in quick] == [
+            "jacobi-8-quick", "gauss-8-quick", "gauss-32-quick"
+        ]
+        assert all(isinstance(s, PerfScenario) for s in default + quick)
+        assert all(s.nprocs == 8 for s in default)
+        assert quick[-1].nprocs == 32
 
     def test_paper_preset_appends_table1_jacobi(self):
         names = [s.name for s in scenarios(paper=True)]

@@ -1,0 +1,98 @@
+"""Macro-event batching must be invisible to the simulation.
+
+The batched engine (``PerfParams.macro_events``, default on) drains whole
+``(time, priority)`` runs and fast-forwards quiescent compute-span phases;
+the event-by-event engine is retained as the identity reference.  Every
+scenario class the engine supports — all four kernels, adaptive
+reconfiguration, crash recovery, seeded chaos plans — must produce a
+:class:`ScenarioResult` bitwise identical (canonical JSON, byte for byte)
+with batching on and off, and the observability layer must record the
+same spans and counters either way.
+"""
+
+import json
+
+import pytest
+
+from repro.api import AdaptEvent, ObsConfig, run, spec_from_preset
+from repro.apps import APP_NAMES
+from repro.obs.export import chrome_trace, metrics_dict
+
+
+def _macro_pair(spec):
+    """The same scenario with batching forced on and forced off."""
+    on = run(spec.replaced(perf={**spec.perf, "macro_events": True}))
+    off = run(spec.replaced(perf={**spec.perf, "macro_events": False}))
+    return on, off
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize("app", sorted(APP_NAMES))
+    def test_every_kernel(self, app):
+        spec = spec_from_preset("tiny", app, 4, calibrated=False,
+                                label=f"macro-id-{app}")
+        on, off = _macro_pair(spec)
+        assert on.result.to_json() == off.result.to_json()
+        assert on.result.events == off.result.events
+
+    def test_adaptive_leave_join(self):
+        spec = spec_from_preset(
+            "tiny", "jacobi", 8, calibrated=False, adaptive=True,
+            extra_nodes=2,
+            events=(AdaptEvent("leave", 0.03, 3), AdaptEvent("join", 0.06)),
+            label="macro-id-adapt",
+        )
+        on, off = _macro_pair(spec)
+        assert on.result.to_json() == off.result.to_json()
+        assert on.result.adaptations >= 1
+
+    def test_crash_recovery(self):
+        spec = spec_from_preset(
+            "tiny", "jacobi", 4, calibrated=False, adaptive=True,
+            extra_nodes=1, events=(AdaptEvent("crash", 0.03),),
+            checkpoint_interval=0.02, failure_detection=True,
+            label="macro-id-crash",
+        )
+        on, off = _macro_pair(spec)
+        assert on.result.to_json() == off.result.to_json()
+
+    def test_chaos_fault_plan(self):
+        plan = "\n".join([
+            "0.01 degrade 1 0.5",
+            "0.02 duplicate 0.2",
+            "0.03 crash 3",
+            "0.04 restore 1",
+        ])
+        spec = spec_from_preset(
+            "tiny", "jacobi", 4, calibrated=False, adaptive=True,
+            extra_nodes=1, fault_plan=plan, checkpoint_interval=0.02,
+            failure_detection=True, label="macro-id-chaos",
+        )
+        on, off = _macro_pair(spec)
+        assert on.result.to_json() == off.result.to_json()
+
+
+class TestObsIdentityUnderBatching:
+    def test_obs_does_not_perturb_batched_engine(self):
+        spec = spec_from_preset("tiny", "gauss", 4, calibrated=False,
+                                label="macro-obs-leak")
+        plain = run(spec)
+        observed = run(spec, obs=ObsConfig())
+        assert plain.result.to_json() == observed.result.to_json()
+        assert observed.registry is not None
+
+    def test_recorded_telemetry_invariant_under_batching(self):
+        # Not just the simulated outputs: the obs registry itself — every
+        # span boundary, every counter, the adapt.* tiling — must be the
+        # same stream of facts whichever engine produced it.
+        spec = spec_from_preset("tiny", "gauss", 4, calibrated=False,
+                                label="macro-obs-id")
+        on = run(spec.replaced(perf={"macro_events": True}), obs=ObsConfig())
+        off = run(spec.replaced(perf={"macro_events": False}), obs=ObsConfig())
+        assert on.result.events == off.result.events
+        trace_on = json.dumps(chrome_trace(on.registry), sort_keys=True)
+        trace_off = json.dumps(chrome_trace(off.registry), sort_keys=True)
+        assert trace_on == trace_off
+        metrics_on = json.dumps(metrics_dict(on.registry), sort_keys=True)
+        metrics_off = json.dumps(metrics_dict(off.registry), sort_keys=True)
+        assert metrics_on == metrics_off

@@ -1,0 +1,125 @@
+"""Property tests: the batched engine replays the reference event order.
+
+The heap engine defines the contract — strict ``(time, priority, seq)``
+order.  The batched engine drains whole ``(time, priority)`` buckets and
+fast-forwards quiescent compute-span phases, so these tests drive both
+engines through randomized programs (same-time cascades, priority
+preemption, cancellations, span/non-span mixes) and require the executed
+label sequence, final clock, and ``events_executed`` to match exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simcore import LATE, NORMAL, URGENT, Simulator
+
+PRIORITIES = st.sampled_from([URGENT, NORMAL, LATE])
+
+#: A child instruction executed inside a parent action:
+#: ("push", delay_slot, priority) / ("span", delay_slot, _) /
+#: ("cancel", _, _) which cancels the most recent still-pending event.
+CHILD = st.tuples(st.sampled_from(["push", "span", "cancel"]),
+                  st.integers(0, 2), PRIORITIES)
+
+#: A root event: (time slot, priority, is_span, children).
+ROOT = st.tuples(st.integers(0, 3), PRIORITIES, st.booleans(),
+                 st.lists(CHILD, max_size=2))
+
+
+def _execute(ops, batch, until=None):
+    """Run one program on the chosen engine; return the executed labels."""
+    sim = Simulator(batch=batch)
+    queue = sim._queue
+    order = []
+    pushed = []
+
+    def make_action(label, children):
+        def action():
+            order.append((label, sim.now))
+            for j, (kind, delay_slot, prio) in enumerate(children):
+                if kind == "cancel":
+                    if pushed:
+                        pushed.pop().cancel()
+                    continue
+                child = make_action(f"{label}.{j}", [])
+                t = sim.now + delay_slot * 0.25
+                if kind == "span":
+                    pushed.append(queue.push_span(t, child))
+                else:
+                    pushed.append(queue.push(t, child, priority=prio))
+        return action
+
+    for i, (slot, prio, span, children) in enumerate(ops):
+        action = make_action(f"r{i}", children)
+        if span:
+            pushed.append(queue.push_span(slot * 0.5, action))
+        else:
+            pushed.append(queue.push(slot * 0.5, action, priority=prio))
+    final = sim.run(until=until, check_deadlock=False)
+    return order, final, sim.events_executed
+
+
+class TestOrderEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=st.lists(ROOT, max_size=25))
+    def test_batched_drain_matches_reference_order(self, ops):
+        ref = _execute(ops, batch=False)
+        batched = _execute(ops, batch=True)
+        assert batched == ref
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=st.lists(ROOT, max_size=25),
+           until=st.sampled_from([0.0, 0.5, 0.75, 1.5]))
+    def test_horizon_runs_match_too(self, ops, until):
+        ref = _execute(ops, batch=False, until=until)
+        batched = _execute(ops, batch=True, until=until)
+        assert batched == ref
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.integers(0, 3), PRIORITIES, st.just(True),
+                  st.lists(CHILD.filter(lambda c: c[0] == "span"),
+                           max_size=2)),
+        max_size=25,
+    ))
+    def test_pure_span_programs_fast_forward_identically(self, ops):
+        # All-span programs keep the queue quiescent, so the batched
+        # engine stays on the analytic fast-forward sweep throughout.
+        ref = _execute(ops, batch=False)
+        batched = _execute(ops, batch=True)
+        assert batched == ref
+
+
+class TestFastForwardEngages:
+    def _span_chains(self, sim, procs=8, steps=50):
+        def worker(k):
+            for _ in range(steps):
+                yield sim.compute_span(0.001 * (k + 1))
+        for k in range(procs):
+            sim.process(worker(k), name=f"w{k}")
+
+    def test_quiescent_drain_engages_the_fast_forward(self):
+        # Once process startup drains, every remaining event is a span
+        # completion: the engine must enter the fast-forward sweep and
+        # stay there (one engagement covers the whole quiescent phase,
+        # since span actions only schedule further spans).
+        sim = Simulator(batch=True)
+        self._span_chains(sim)
+        sim.run()
+        assert sim.events_executed == 8 * 50 + 8  # spans + process starts
+        assert sim.ff_phases == 1
+
+    def test_fast_forward_never_engages_on_the_reference_engine(self):
+        sim = Simulator(batch=False)
+        self._span_chains(sim)
+        sim.run()
+        assert sim.ff_phases == 0
+
+    def test_fast_forward_result_matches_reference(self):
+        ref = Simulator(batch=False)
+        self._span_chains(ref)
+        ref.run()
+        batched = Simulator(batch=True)
+        self._span_chains(batched)
+        batched.run()
+        assert batched.now == ref.now
+        assert batched.events_executed == ref.events_executed
