@@ -15,7 +15,7 @@ from ..cluster import NodePool
 from ..config import SystemConfig
 from ..core import AdaptiveRuntime
 from ..dsm import TmkRuntime
-from ..network import Switch, TrafficSnapshot
+from ..network import TrafficSnapshot, build_topology
 from ..simcore import Simulator
 
 
@@ -86,7 +86,9 @@ def run_experiment(
     """
     cfg = cfg or SystemConfig()
     sim = Simulator(trace=trace, obs=obs, batch=cfg.perf.macro_events)
-    switch = Switch(sim, cfg.network)
+    # cfg.perf.topology == "star" constructs the plain Switch exactly as
+    # before; "fattree" swaps in the hierarchical interconnect (§11).
+    switch = build_topology(sim, cfg.network, cfg.perf)
     pool = NodePool(sim, switch)
     team_nodes = pool.add_nodes(nprocs)
     pool.add_nodes(extra_nodes)

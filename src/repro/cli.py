@@ -247,8 +247,29 @@ def _report_from_sweep(args) -> int:
     return 0
 
 
+def _report_from_scale(args) -> int:
+    """Render the scaling-sweep table of a ``repro scale`` JSON file."""
+    import json
+
+    from .bench.scale import SCALE_SCHEMA, format_scale_table, load_scale_report
+
+    try:
+        report = load_scale_report(args.scale)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"cannot read scale file {args.scale!r}: {err}", file=sys.stderr)
+        return 2
+    if report.get("schema") != SCALE_SCHEMA:
+        print(f"{args.scale}: not a {SCALE_SCHEMA} file", file=sys.stderr)
+        return 2
+    print(f"Scaling sweep: {args.scale} (created {report.get('created')})")
+    print(format_scale_table(report))
+    return 0
+
+
 def cmd_report(args) -> int:
     """Run one observed scenario and print the §5 cost decomposition."""
+    if args.scale:
+        return _report_from_scale(args)
     if args.sweep:
         return _report_from_sweep(args)
     if args.digest:
@@ -602,6 +623,33 @@ def cmd_perfbench(args) -> int:
     return 0
 
 
+def cmd_scale(args) -> int:
+    """Scaling sweep: flat vs tree sync, star vs fat-tree, several sizes."""
+    from .bench.scale import (
+        DEFAULT_NODES,
+        format_scale_table,
+        run_scale,
+        write_scale_report,
+    )
+
+    if args.nodes:
+        try:
+            nodes = [int(v) for v in args.nodes.split(",") if v.strip()]
+        except ValueError:
+            print(f"bad --nodes {args.nodes!r}; expected e.g. 8,32,128",
+                  file=sys.stderr)
+            return 2
+    else:
+        nodes = list(DEFAULT_NODES) if not args.quick else [8, 32]
+    report = run_scale(nodes=nodes, quick=args.quick,
+                       gate_scenario=not args.no_gate_scenario)
+    print(format_scale_table(report))
+    if args.out:
+        write_scale_report(report, args.out)
+        print(f"\n  report written to {args.out}")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Seeded fault injection against the execution engine.
 
@@ -827,6 +875,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="export the flat metrics.json")
     rep.add_argument("--cache-dir", default=None,
                      help="result-cache directory for --digest")
+    rep.add_argument("--scale", default=None, metavar="FILE",
+                     help="render the scaling table of a `repro scale` "
+                          "JSON report instead of running")
     rep.set_defaults(fn=cmd_report)
 
     perf = sub.add_parser(
@@ -869,6 +920,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "uninstrumented run")
     _add_engine_args(perf, cache_default_on=False)
     perf.set_defaults(fn=cmd_perfbench)
+
+    scale = sub.add_parser(
+        "scale",
+        help="scaling sweep: flat vs tree synchronization and star vs "
+             "fat-tree interconnect across NOW sizes (max per-link load)",
+    )
+    scale.add_argument("--nodes", default=None,
+                       help="comma-separated team sizes "
+                            "(default: 8,16,32,64,128; 8,32 with --quick)")
+    scale.add_argument("--quick", action="store_true",
+                       help="smaller kernels and sizes for CI smoke runs")
+    scale.add_argument("--out", default=None, metavar="FILE",
+                       help="write the JSON report (the committed curve is "
+                            "benchmarks/BENCH_scale_pr8.json)")
+    scale.add_argument("--no-gate-scenario", action="store_true",
+                       help="skip the perfbench-format gauss-32-quick entry "
+                            "(the hook that lets the report serve as a "
+                            "`repro perfbench --compare` baseline)")
+    scale.set_defaults(fn=cmd_scale)
 
     chaos = sub.add_parser(
         "chaos",

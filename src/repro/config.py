@@ -88,9 +88,18 @@ class NetworkParams:
     #: Seed for the loss model's drop decisions.
     loss_seed: int = 0xD20
 
+    #: Cut-through forwarding latency added per *extra* switch a message
+    #: crosses in a hierarchical topology (header parse + port arbitration
+    #: of a late-90s store-nothing switch).  The paper's single-switch star
+    #: crosses zero extra switches, so this constant never enters the
+    #: reference model.
+    switch_hop_latency: float = 10.0e-6
+
     def validate(self) -> None:
         if self.one_way_latency < 0 or self.per_byte <= 0:
             raise ConfigurationError("network timing constants must be positive")
+        if self.switch_hop_latency < 0:
+            raise ConfigurationError("switch_hop_latency must be >= 0")
 
     @property
     def page_service(self) -> float:
@@ -272,11 +281,52 @@ class PerfParams:
     #: written), so it is amortized rather than run per close).
     interval_prune_period: int = 64
 
+    #: Fold all barrier arrivals' write-notice runs into **one** run-batched
+    #: ingestion per barrier round instead of one ``apply_notices`` call per
+    #: arriving process.  Each arrival carries only its own writer's runs
+    #: (``sync_notices``), so concatenating them in ascending-pid order
+    #: reproduces the flat per-process fold exactly; clock merges are
+    #: elementwise max and hence order-free.  Bitwise identical to the
+    #: one-at-a-time fold (the off position is the identity reference).
+    barrier_fold_batch: bool = True
+
+    #: Synchronize through a ``barrier_radix``-ary combining tree over pids
+    #: (children of position i are k·i+1 … k·i+k; the master is the root)
+    #: instead of the paper's flat all-to-one fold at the master.  Interior
+    #: processes fold their subtree's write notices (run-batched, deduped)
+    #: before forwarding one combined arrival upward, and releases fan back
+    #: down the same tree, so the master's link carries O(radix) instead of
+    #: O(N) payloads per barrier.  Changes modelled message patterns and
+    #: times — off by default for paper fidelity (flat runs stay bitwise
+    #: identical to the seed).  See docs/PROTOCOL.md §11.
+    barrier_tree: bool = False
+
+    #: Fan-out of the combining tree (tree height is ⌈log_k N⌉).
+    barrier_radix: int = 4
+
+    #: Network topology: ``"star"`` is the paper's single switched
+    #: full-duplex Ethernet segment (the bitwise-identity reference);
+    #: ``"fattree"`` hangs ``topology_radix``-node leaf switches off a
+    #: root switch, with per-hop link occupation and cut-through
+    #: forwarding through the intermediate switch.  See PROTOCOL.md §11.
+    topology: str = "star"
+
+    #: Nodes per leaf switch in the ``fattree`` topology.
+    topology_radix: int = 8
+
     def validate(self) -> None:
         if self.plan_cache_capacity < 1:
             raise ConfigurationError("plan_cache_capacity must be >= 1")
         if self.interval_prune_period < 1:
             raise ConfigurationError("interval_prune_period must be >= 1")
+        if self.barrier_radix < 2:
+            raise ConfigurationError("barrier_radix must be >= 2")
+        if self.topology not in ("star", "fattree"):
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r} (expected 'star' or 'fattree')"
+            )
+        if self.topology_radix < 2:
+            raise ConfigurationError("topology_radix must be >= 2")
 
 
 #: Default location of the content-addressed scenario-result cache

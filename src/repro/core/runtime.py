@@ -42,7 +42,7 @@ from .adaptation import (
 )
 from .checkpoint import CheckpointManager
 from .grace import GracePolicy
-from .join import connection_setup, ship_page_map
+from .join import connection_setup, ship_page_maps
 from .leave import absorb_leaver_pages
 from .migration import MigrationOutcome, migrate_process
 from .reassign import CompactShift, ReassignStrategy
@@ -538,8 +538,8 @@ class AdaptiveRuntime(TmkRuntime):
             new_procs[new_pid] = proc
         self.procs = new_procs
         self.master = self.procs[self.team.MASTER_PID]
+        ship_page_maps(self, [self.procs[p] for p in joiner_pids])
         for new_pid in joiner_pids:
-            ship_page_map(self, self.procs[new_pid])
             self._start_slave(self.procs[new_pid])
 
         from ..dsm.vectorclock import VectorClock

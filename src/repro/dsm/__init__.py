@@ -18,9 +18,11 @@ from .sc import ScProcess, ScRuntime
 from .sharedarray import SharedArray, partition_ranges
 from .statistics import DsmStats, TeamStats
 from .team import TeamView
+from .treebarrier import TreeBarrier
 from .vectorclock import VectorClock
 
 __all__ = [
+    "TreeBarrier",
     "AccessMode",
     "AddressSpace",
     "BarrierManager",

@@ -49,7 +49,15 @@ _PAGE_BITS = PAGE_BITS
 
 #: Message kinds routed to the main coroutine rather than a handler.
 MAIN_KINDS = frozenset(
-    {mk.FORK, mk.STOP, mk.BARRIER_RELEASE, mk.GC_GO, mk.GC_REQ, mk.LOCK_GRANT}
+    {
+        mk.FORK,
+        mk.STOP,
+        mk.BARRIER_RELEASE,
+        mk.BARRIER_TREE_RELEASE,
+        mk.GC_GO,
+        mk.GC_REQ,
+        mk.LOCK_GRANT,
+    }
 )
 
 
@@ -120,6 +128,13 @@ class DsmProcess:
         self.gc_done_store = Store(sim, name=f"{self.name}.gcdone")
         self.barrier_mgr = None  # set for the master by the runtime
         self.lock_mgr = None  # set for the master by the runtime
+        #: Combining-tree barrier engine (PerfParams.barrier_tree, §11);
+        #: None runs the paper's flat all-to-one barrier.
+        self.tree_barrier = None
+        if cfg.perf.barrier_tree:
+            from .treebarrier import TreeBarrier
+
+            self.tree_barrier = TreeBarrier(self)
         #: Per-process distributed lock state: lock id -> dict.
         self._lock_state: Dict[int, Dict[str, Any]] = {}
         #: Set by the runtime: a generator-returning callable that blocks
@@ -278,6 +293,8 @@ class DsmProcess:
                 self.main_inbox.put(msg)
             elif msg.kind == mk.BARRIER_ARRIVE:
                 self.barrier_mgr.on_arrive(msg)
+            elif msg.kind == mk.BARRIER_TREE_ARRIVE:
+                self.tree_barrier.on_arrive(msg)
             elif msg.kind == mk.JOIN_DONE:
                 self.join_store.put(msg)
             elif msg.kind == mk.GC_DONE:
@@ -344,8 +361,47 @@ class DsmProcess:
                 pass  # the prober's NIC went dark; nothing to tell it
         elif msg.kind == mk.PAGE_MAP:
             # The page-location map shipped to a joiner at absorption.
-            self.owners = dict(msg.payload["owners"])
-            self.sim.tracer.emit("adapt", "page_map", f"{self.name} {len(self.owners)} pages")
+            payload = msg.payload
+            targets = payload.get("targets") if isinstance(payload, dict) else None
+            if targets is None:
+                self.owners = dict(payload["owners"])
+                self.sim.tracer.emit(
+                    "adapt", "page_map", f"{self.name} {len(self.owners)} pages"
+                )
+            else:
+                # Tree-relayed map (PROTOCOL.md §11): install it if we are
+                # one of the addressed joiners, then forward one copy to
+                # each tree child whose subtree still contains targets.
+                if self.pid in targets:
+                    self.owners = dict(payload["owners"])
+                    self.sim.tracer.emit(
+                        "adapt", "page_map",
+                        f"{self.name} {len(self.owners)} pages",
+                    )
+                from .treebarrier import subtree_pids, tree_children
+
+                pids = self.team.pids
+                pos = pids.index(self.pid)
+                radix = self.cfg.perf.barrier_radix
+                size = (
+                    len(payload["owners"])
+                    * self.cfg.dsm.page_descriptor_bytes
+                )
+                obs = self.sim.obs
+                for cpid in tree_children(pids, pos, radix):
+                    sub = set(subtree_pids(pids, pids.index(cpid), radix))
+                    hit = [t for t in targets if t in sub]
+                    if not hit:
+                        continue
+                    self.send(
+                        mk.PAGE_MAP,
+                        cpid,
+                        {"owners": payload["owners"], "targets": hit},
+                        size=size,
+                    )
+                    if obs.enabled:
+                        obs.count("adapt.page_map_messages")
+                        obs.count("adapt.page_map_bytes", size)
         elif msg.kind == mk.OWNER_UPDATE:
             # The master took over a leaver's pages (§4.2).
             for page in msg.payload["pages"]:
@@ -1147,6 +1203,17 @@ class DsmProcess:
     def barrier(self) -> Generator:
         """TreadMarks barrier with write-notice exchange."""
         t0 = self.sim.now
+        if self.tree_barrier is not None:
+            self.stats.barriers += 1
+            yield from self.tree_barrier.barrier()
+            self.stats.barrier_wait_time += self.sim.now - t0
+            obs = self.sim.obs
+            if obs.enabled and obs.per_process:
+                obs.span(
+                    f"P{self.pid}", "barrier.wait", t0, self.sim.now,
+                    category="dsm",
+                )
+            return
         notices = self.sync_notices()
         self.stats.barriers += 1
         if self.is_master:
@@ -1222,6 +1289,9 @@ class DsmProcess:
         if self.lock_mgr is not None:
             self.lock_mgr.reset()
         self._gc_pending_owners = {}
+        if self.tree_barrier is not None:
+            # Subtree knowledge floors are per-epoch (clocks reset).
+            self.tree_barrier.reset()
         self.stats.gcs += 1
         self.sim.tracer.emit("dsm", "gc", f"{self.name} epoch={self.epoch}")
 
@@ -1396,6 +1466,9 @@ class DsmProcess:
             pte.owner = owner_remap.get(pte.owner, TeamView.MASTER_PID)
             pte.applied = VectorClock.zeros(width)
         self.table.proc_name = self.name
+        if self.tree_barrier is not None:
+            # Pids were renumbered; the tree is rebuilt from the new team.
+            self.tree_barrier.reset()
 
     def terminate(self) -> None:
         """Tear down after leaving the computation."""

@@ -34,6 +34,7 @@ from .page import Protocol
 from .process import DsmProcess
 from .statistics import DsmStats
 from .team import TeamView
+from .treebarrier import tree_children, tree_parent, vc_min, writer_sorted
 from .vectorclock import VectorClock
 
 #: A parallel-region body: ``region(ctx, pid, nprocs, args) -> generator``.
@@ -367,14 +368,106 @@ class TmkRuntime:
                         node.withdraw()
                 break
             if msg.kind == mk.GC_REQ:
-                proc.apply_notices(msg.payload["notices"], msg.payload["vc"])
-                yield from proc.gc_participate(ack=True)
+                if proc.tree_barrier is not None:
+                    # Tree-relayed fork-point GC: forward to our subtree,
+                    # aggregate both done rounds one hop at a time (§11).
+                    yield from proc.tree_barrier.gc_fork_point_participate(
+                        msg.payload
+                    )
+                else:
+                    proc.apply_notices(msg.payload["notices"], msg.payload["vc"])
+                    yield from proc.gc_participate(ack=True)
                 continue
             payload = msg.payload
             proc.apply_notices(payload["notices"], payload["vc"])
+            tb = proc.tree_barrier
+            children: List[int] = []
+            if tb is not None:
+                # Relay the fork down our subtree before running the
+                # region, so the whole tree starts in parallel.  Each
+                # child gets the notices its subtree's knowledge floor is
+                # missing — a superset of what the flat master would have
+                # sent each member; receivers dedupe.
+                pids = self.team.pids
+                pos = pids.index(proc.pid)
+                children = tree_children(pids, pos, tb.radix)
+                for cpid in children:
+                    fork_notices = proc.notices_unknown_to(tb.child_vc(cpid))
+                    size = (
+                        proc.notice_wire_bytes(len(fork_notices))
+                        + proc.vc_wire_bytes
+                        + 8 * payload["nprocs"]
+                        + 16
+                    )
+                    proc.send(
+                        mk.FORK,
+                        cpid,
+                        {
+                            "phase": payload["phase"],
+                            "args": payload["args"],
+                            "fork_seq": payload["fork_seq"],
+                            "notices": fork_notices,
+                            "vc": proc.vc.snapshot(),
+                            "nprocs": payload["nprocs"],
+                        },
+                        size=size,
+                    )
             region = self.program.phase(payload["phase"])
             yield from region(ctx, proc.pid, payload["nprocs"], payload["args"])
             notices = proc.sync_notices()
+            if tb is not None:
+                # Combine our subtree's joins into one upward JOIN_DONE:
+                # own arrival clock is the floor for ourselves, children
+                # report their subtrees' floors; notices fold run-batched.
+                own_vc = proc.vc.snapshot()
+                min_vc = own_vc
+                arrivals: Dict[int, dict] = {}
+                for _ in children:
+                    m2 = yield proc.join_store.get()
+                    arrivals[m2.payload["pid"]] = m2.payload
+                batched = writer_sorted(
+                    arrivals[cpid]["notices"] for cpid in sorted(arrivals)
+                )
+                if batched:
+                    proc.apply_notices(batched, proc.vc.snapshot())
+                obs = self.sim.obs
+                if obs.enabled and children:
+                    obs.count("barrier.tree.folds")
+                    obs.count("barrier.tree.notices_folded", len(batched))
+                want_gc = proc.wants_gc
+                for cpid in sorted(arrivals):
+                    p = arrivals[cpid]
+                    proc.vc.merge(p["vc"])
+                    tb.child_join_vcs[cpid] = p["min_vc"]
+                    min_vc = vc_min(min_vc, p["min_vc"])
+                    want_gc = want_gc or p["want_gc"]
+                upward = writer_sorted(
+                    [notices]
+                    + [arrivals[cpid]["notices"] for cpid in sorted(arrivals)]
+                )
+                parent = tree_parent(
+                    self.team.pids,
+                    self.team.pids.index(proc.pid),
+                    tb.radix,
+                )
+                size = (
+                    proc.notice_wire_bytes(len(upward))
+                    + 2 * proc.vc_wire_bytes
+                    + 8
+                )
+                proc.send(
+                    mk.JOIN_DONE,
+                    parent,
+                    {
+                        "pid": proc.pid,
+                        "notices": upward,
+                        "vc": proc.vc.snapshot(),
+                        "min_vc": min_vc,
+                        "want_gc": want_gc,
+                    },
+                    size=size,
+                )
+                continue
             size = proc.notice_wire_bytes(len(notices)) + proc.vc_wire_bytes + 8
             proc.send(
                 mk.JOIN_DONE,
@@ -400,37 +493,89 @@ class TmkRuntime:
         obs = self.sim.obs
         fork_t0 = self.sim.now
         self.sim.tracer.emit("tmk", "fork", f"#{self.fork_seq} {phase_name}")
-        for pid in self.team.slave_pids:
-            notices = master.notices_unknown_to(self.slave_vcs[pid])
-            size = (
-                master.notice_wire_bytes(len(notices))
-                + master.vc_wire_bytes
-                + 8 * self.team.nprocs
-                + 16
-            )
-            master.send(
-                mk.FORK,
-                pid,
-                {
-                    "phase": phase_name,
-                    "args": args,
-                    "fork_seq": self.fork_seq,
-                    "notices": notices,
-                    "vc": master.vc.snapshot(),
-                    "nprocs": self.team.nprocs,
-                },
-                size=size,
-            )
+        tb = master.tree_barrier
+        if tb is not None:
+            # Tree fork: the master only talks to its tree children; each
+            # child re-forks its own subtree (see _slave_main).  A child's
+            # payload carries what its subtree's knowledge floor is
+            # missing — a superset of each member's need; receivers dedupe.
+            tree_kids = tree_children(self.team.pids, 0, tb.radix)
+            for cpid in tree_kids:
+                notices = master.notices_unknown_to(tb.child_vc(cpid))
+                size = (
+                    master.notice_wire_bytes(len(notices))
+                    + master.vc_wire_bytes
+                    + 8 * self.team.nprocs
+                    + 16
+                )
+                master.send(
+                    mk.FORK,
+                    cpid,
+                    {
+                        "phase": phase_name,
+                        "args": args,
+                        "fork_seq": self.fork_seq,
+                        "notices": notices,
+                        "vc": master.vc.snapshot(),
+                        "nprocs": self.team.nprocs,
+                    },
+                    size=size,
+                )
+        else:
+            for pid in self.team.slave_pids:
+                notices = master.notices_unknown_to(self.slave_vcs[pid])
+                size = (
+                    master.notice_wire_bytes(len(notices))
+                    + master.vc_wire_bytes
+                    + 8 * self.team.nprocs
+                    + 16
+                )
+                master.send(
+                    mk.FORK,
+                    pid,
+                    {
+                        "phase": phase_name,
+                        "args": args,
+                        "fork_seq": self.fork_seq,
+                        "notices": notices,
+                        "vc": master.vc.snapshot(),
+                        "nprocs": self.team.nprocs,
+                    },
+                    size=size,
+                )
         region = self.program.phase(phase_name)
         yield from region(self.master_ctx, master.pid, self.team.nprocs, args)
         master.close_interval()
         want_gc = master.wants_gc
-        for _ in self.team.slave_pids:
-            msg = yield master.join_store.get()
-            p = msg.payload
-            master.apply_notices(p["notices"], p["vc"])
-            self.slave_vcs[p["pid"]] = p["vc"]  # frozen snapshot; no copy needed
-            want_gc = want_gc or p["want_gc"]
+        if tb is not None:
+            # Tree join: one combined JOIN_DONE per tree child, folded with
+            # a single run-batched ingestion (the flat fold's run sequence;
+            # see treebarrier.writer_sorted).
+            arrivals: Dict[int, dict] = {}
+            for _ in tree_kids:
+                msg = yield master.join_store.get()
+                arrivals[msg.payload["pid"]] = msg.payload
+            batched = writer_sorted(
+                arrivals[cpid]["notices"] for cpid in sorted(arrivals)
+            )
+            if batched:
+                master.apply_notices(batched, master.vc.snapshot())
+            for cpid in sorted(arrivals):
+                p = arrivals[cpid]
+                master.vc.merge(p["vc"])
+                tb.child_join_vcs[cpid] = p["min_vc"]
+                want_gc = want_gc or p["want_gc"]
+            if obs.enabled and tree_kids:
+                obs.count("barrier.tree.rounds")
+                obs.count("barrier.tree.folds")
+                obs.count("barrier.tree.notices_folded", len(batched))
+        else:
+            for _ in self.team.slave_pids:
+                msg = yield master.join_store.get()
+                p = msg.payload
+                master.apply_notices(p["notices"], p["vc"])
+                self.slave_vcs[p["pid"]] = p["vc"]  # frozen snapshot; no copy needed
+                want_gc = want_gc or p["want_gc"]
         self.sim.tracer.emit("tmk", "join", f"#{self.fork_seq} {phase_name}")
         if obs.enabled:
             obs.span(
@@ -451,25 +596,55 @@ class TmkRuntime:
         obs = self.sim.obs
         gc_t0 = self.sim.now
         self.sim.tracer.emit("dsm", "gc_start", f"fork#{self.fork_seq}")
-        for pid in self.team.slave_pids:
-            notices = master.notices_unknown_to(self.slave_vcs[pid])
-            size = master.notice_wire_bytes(len(notices)) + master.vc_wire_bytes + 8
-            master.send(
-                mk.GC_REQ,
-                pid,
-                {"notices": notices, "vc": master.vc.snapshot()},
-                size=size,
-            )
-        yield from master.gc_flush()
-        for _ in self.team.slave_pids:
-            yield master.gc_done_store.get()
-        for pid in self.team.slave_pids:
-            master.send(mk.GC_GO, pid, {}, size=4)
-        master.gc_reset()
-        # wait for every slave to confirm its reset before the caller may
-        # touch team-wide state (adaptation rebuilds the pid space next)
-        for _ in self.team.slave_pids:
-            yield master.gc_done_store.get()
+        tb = master.tree_barrier
+        if tb is not None:
+            # Tree GC: relay the request down the tree; both done rounds
+            # (flush, reset) aggregate one hop at a time, so the master
+            # link carries radix control messages instead of N.
+            gc_kids = tree_children(self.team.pids, 0, tb.radix)
+            for cpid in gc_kids:
+                notices = master.notices_unknown_to(tb.child_vc(cpid))
+                size = (
+                    master.notice_wire_bytes(len(notices))
+                    + master.vc_wire_bytes
+                    + 8
+                )
+                master.send(
+                    mk.GC_REQ,
+                    cpid,
+                    {"notices": notices, "vc": master.vc.snapshot()},
+                    size=size,
+                )
+            yield from master.gc_flush()
+            for _ in gc_kids:
+                yield master.gc_done_store.get()
+            for cpid in gc_kids:
+                master.send(mk.GC_GO, cpid, {}, size=4)
+            master.gc_reset()
+            # every subtree confirms its reset before the caller may touch
+            # team-wide state (adaptation rebuilds the pid space next)
+            for _ in gc_kids:
+                yield master.gc_done_store.get()
+        else:
+            for pid in self.team.slave_pids:
+                notices = master.notices_unknown_to(self.slave_vcs[pid])
+                size = master.notice_wire_bytes(len(notices)) + master.vc_wire_bytes + 8
+                master.send(
+                    mk.GC_REQ,
+                    pid,
+                    {"notices": notices, "vc": master.vc.snapshot()},
+                    size=size,
+                )
+            yield from master.gc_flush()
+            for _ in self.team.slave_pids:
+                yield master.gc_done_store.get()
+            for pid in self.team.slave_pids:
+                master.send(mk.GC_GO, pid, {}, size=4)
+            master.gc_reset()
+            # wait for every slave to confirm its reset before the caller may
+            # touch team-wide state (adaptation rebuilds the pid space next)
+            for _ in self.team.slave_pids:
+                yield master.gc_done_store.get()
         self.slave_vcs = {
             pid: VectorClock.zeros(self.team.nprocs) for pid in self.team.slave_pids
         }

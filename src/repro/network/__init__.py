@@ -13,6 +13,7 @@ from .nic import Nic
 from .reliability import DATA_PLANE, LossModel, ReliableRequest
 from .stats import TrafficSnapshot, TrafficStats
 from .switch import Switch
+from .topology import FatTreeSwitch, build_topology
 
 __all__ = [
     "Link",
@@ -22,6 +23,8 @@ __all__ = [
     "Nic",
     "ReliableRequest",
     "Switch",
+    "FatTreeSwitch",
+    "build_topology",
     "TrafficSnapshot",
     "TrafficStats",
     "message",

@@ -51,10 +51,16 @@ class Link:
         """Occupy the link from a precomputed ``start`` (joint reservation).
 
         The switch reserves uplink and downlink for the *same* slot
-        (cut-through forwarding), so ``start`` is the max of both links'
+        (cut-through forwarding), so ``start`` is the max of every hop's
         ``busy_until`` and the send time.  Returns the slot end.
+
+        The sanity check uses a tolerance *relative* to ``busy_until``:
+        multi-hop reservations compute ``start`` as a max over several
+        float sums, and once simulated time reaches thousands of seconds
+        an absolute 1e-12 is below one ulp, rejecting exact-by-construction
+        slots over pure rounding noise.
         """
-        if start < self.busy_until - 1e-12:
+        if start < self.busy_until - 1e-12 * max(1.0, abs(self.busy_until)):
             raise ValueError(
                 f"link {self.name}: occupy start {start} before busy_until {self.busy_until}"
             )

@@ -100,8 +100,14 @@ class TrafficStats:
         self.header_bytes = header_bytes
         self._snap = TrafficSnapshot()
 
-    def record(self, msg: Message, uplink: str, downlink: str) -> None:
-        """Account one delivered message."""
+    def record(self, msg: Message, uplink: str, downlink: str,
+               via: tuple = ()) -> None:
+        """Account one delivered message.
+
+        ``via`` names any intermediate (trunk) links the message crossed in
+        a hierarchical topology; each carries the same wire bytes as the
+        endpoint links.  The star topology never passes it.
+        """
         wire = msg.size_bytes + self.header_bytes
         s = self._snap
         s.messages += 1
@@ -110,6 +116,8 @@ class TrafficStats:
         s.by_kind_bytes[msg.kind] += wire
         s.per_link_bytes[uplink] += wire
         s.per_link_bytes[downlink] += wire
+        for name in via:
+            s.per_link_bytes[name] += wire
         if msg.kind in _PAGE_KINDS:
             s.pages += 1
         elif msg.kind == PAGE_BATCH_REPLY:

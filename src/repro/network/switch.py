@@ -158,3 +158,17 @@ class Switch:
     def message_time(self, payload_bytes: int) -> float:
         """Uncontended one-way delivery time for a payload."""
         return self.params.message_time(payload_bytes + self.params.header_bytes)
+
+    def iter_links(self):
+        """Every directional link of the topology (uplinks then downlinks).
+
+        Hierarchical topologies extend this with their trunk links; the
+        scale bench and ``repro report --scale`` read per-link
+        ``busy_time`` through it.
+        """
+        yield from self.uplinks.values()
+        yield from self.downlinks.values()
+
+    def link_report(self) -> dict:
+        """``{link name: busy_time}`` for every link of the topology."""
+        return {link.name: link.busy_time for link in self.iter_links()}

@@ -1,0 +1,96 @@
+"""The scaling sweep: report shape, determinism, and the perfbench hook."""
+
+import json
+
+from repro.bench.perf import compare_to_baseline
+from repro.bench.scale import (
+    SCALE_SCHEMA,
+    format_scale_table,
+    run_scale,
+    run_scale_point,
+    write_scale_report,
+)
+
+
+class TestScalePoint:
+    def test_entry_shape(self):
+        e = run_scale_point(8, "flat", "star", quick=True)
+        for key in (
+            "sim_seconds", "events_per_sec", "fork_join_mean_s",
+            "max_link_busy_s", "master_uplink_busy_s", "max_link_bytes",
+            "digest",
+        ):
+            assert key in e
+        assert e["nodes"] == 8 and e["sync"] == "flat"
+        assert e["sim_seconds"] > 0 and e["fork_join_mean_s"] > 0
+        assert e["max_link_busy_s"] >= e["master_uplink_busy_s"] > 0
+
+    def test_modelled_outputs_deterministic(self):
+        a = run_scale_point(8, "tree", "star", quick=True)
+        b = run_scale_point(8, "tree", "star", quick=True)
+        assert a["digest"] == b["digest"]
+        assert a["sim_seconds"] == b["sim_seconds"]
+        assert a["max_link_busy_s"] == b["max_link_busy_s"]
+
+    def test_flat_and_tree_model_differently(self):
+        flat = run_scale_point(8, "flat", "star", quick=True)
+        tree = run_scale_point(8, "tree", "star", quick=True)
+        assert flat["digest"] != tree["digest"]
+
+    def test_fattree_charges_trunk_hops(self):
+        """With a radix splitting the team, cross-leaf latency appears."""
+        star = run_scale_point(8, "flat", "star", quick=True)
+        fat = run_scale_point(8, "flat", "fattree", quick=True)
+        # 8 nodes fit one radix-8 leaf, so intra-leaf traffic matches the
+        # star model exactly.
+        assert fat["sim_seconds"] == star["sim_seconds"]
+
+
+class TestScaleReport:
+    def test_report_and_table(self, tmp_path):
+        report = run_scale(nodes=[8], quick=True, gate_scenario=False)
+        assert report["schema"] == SCALE_SCHEMA
+        assert len(report["scale"]) == 4  # 2 syncs x 2 topologies
+        table = format_scale_table(report)
+        assert "flat" in table and "tree" in table and "fattree" in table
+        assert "reduction" in table
+        path = tmp_path / "scale.json"
+        write_scale_report(report, str(path))
+        assert json.loads(path.read_text())["schema"] == SCALE_SCHEMA
+
+    def test_gate_entry_feeds_perfbench_compare(self):
+        """The committed curve doubles as a perfbench --compare baseline."""
+        baseline = {
+            "results": {
+                "gauss-32-quick": {
+                    "normalized_score": 1.0,
+                    "samples": [1.0, 1.0, 1.0],
+                }
+            }
+        }
+        # identical report: no regression flagged
+        assert compare_to_baseline(baseline, baseline, 0.10) == []
+        # a resolved collapse is flagged through the sample CI path
+        bad = {
+            "results": {
+                "gauss-32-quick": {
+                    "normalized_score": 0.1,
+                    "samples": [0.1, 0.1001, 0.0999],
+                }
+            }
+        }
+        flagged = compare_to_baseline(bad, baseline, 0.10)
+        assert [name for name, *_ in flagged] == ["gauss-32-quick"]
+
+    def test_committed_curve_shows_tree_win(self):
+        """benchmarks/BENCH_scale_pr8.json: the headline claim, pinned —
+        tree sync cuts master-uplink busy time at 64 and 128 nodes."""
+        with open("benchmarks/BENCH_scale_pr8.json") as fh:
+            report = json.load(fh)
+        scale = report["scale"]
+        for n in (64, 128):
+            flat = scale[f"jacobi-{n}-flat-star"]["master_uplink_busy_s"]
+            tree = scale[f"jacobi-{n}-tree-star"]["master_uplink_busy_s"]
+            assert tree < 0.5 * flat, (n, flat, tree)
+        assert "gauss-32-quick" in report["results"]
+        assert report["results"]["gauss-32-quick"]["samples"]

@@ -1,0 +1,289 @@
+"""Combining-tree synchronization (PROTOCOL.md §11).
+
+Two layers of evidence that the tree is a pure *routing* change:
+
+* A Hypothesis property over the pure fold algebra — for random team
+  sizes, radices, notice-run lengths, and arrival orders, the notice
+  sequence the root ingests through the tree equals the flat manager's
+  batched fold sequence, writer for writer, notice for notice.
+* End-to-end runs — materialized programs produce the same shared memory
+  with the tree on and off, GC rounds included, and tree runs are
+  internally deterministic.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DsmParams, PerfParams, SystemConfig
+from repro.dsm import Protocol, SharedArray
+from repro.dsm.treebarrier import (
+    subtree_pids,
+    tree_children,
+    tree_parent,
+    vc_min,
+    writer_sorted,
+)
+from repro.dsm.vectorclock import VectorClock
+
+from ..helpers import build_system, run_phases
+
+
+# ---------------------------------------------------------------------------
+# tree-layout helpers
+# ---------------------------------------------------------------------------
+class TestTreeLayout:
+    def test_children_and_parent_agree(self):
+        pids = list(range(13))
+        for radix in (2, 3, 4):
+            for pos, pid in enumerate(pids):
+                for child in tree_children(pids, pos, radix):
+                    cpos = pids.index(child)
+                    assert tree_parent(pids, cpos, radix) == pid
+
+    def test_subtrees_partition_the_team(self):
+        pids = list(range(17))
+        for radix in (2, 3, 5):
+            covered = [0]
+            for child in tree_children(pids, 0, radix):
+                covered += subtree_pids(pids, pids.index(child), radix)
+            assert sorted(covered) == pids
+
+    def test_root_has_no_parent_calls_needed(self):
+        pids = [0, 1, 2, 3]
+        assert tree_children(pids, 0, 8) == [1, 2, 3]
+        assert tree_children(pids, 3, 8) == []
+
+    def test_vc_min_elementwise(self):
+        a = VectorClock([3, 0, 5])
+        b = VectorClock([1, 2, 5])
+        assert list(vc_min(a, b).entries) == [1, 0, 5]
+
+
+# ---------------------------------------------------------------------------
+# the fold-equivalence property
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FakeNotice:
+    """Just enough of a WriteNotice for ``writer_sorted``: a writer id
+    and a per-writer sequence number."""
+
+    proc: int
+    seq: int
+
+
+@st.composite
+def teams(draw):
+    nprocs = draw(st.integers(2, 24))
+    radix = draw(st.integers(2, 5))
+    run_lens = [draw(st.integers(0, 4)) for _ in range(nprocs)]
+    shuffle_seed = draw(st.integers(0, 2**31 - 1))
+    return nprocs, radix, run_lens, shuffle_seed
+
+
+def _tree_combined(pids, pos, radix, runs, rng):
+    """The upward payload of the process at ``pos``, arrivals shuffled.
+
+    Mirrors the join path of ``_slave_main``: own notices plus each
+    child subtree's combined chunk, regrouped by writer.  The protocol
+    keys arrivals by pid before folding, so the chunk list is assembled
+    in sorted-child order regardless of arrival order — the shuffle here
+    exercises ``writer_sorted``'s invariance to chunk permutation.
+    """
+    own = runs[pids[pos]]
+    chunks = [own]
+    for child in sorted(tree_children(pids, pos, radix)):
+        chunks.append(
+            _tree_combined(pids, pids.index(child), radix, runs, rng)
+        )
+    rng.shuffle(chunks)
+    return writer_sorted(chunks)
+
+
+@given(teams())
+@settings(max_examples=200, deadline=None)
+def test_tree_fold_sequence_equals_flat_fold(team):
+    """The root ingests exactly the flat manager's batched sequence."""
+    nprocs, radix, run_lens, shuffle_seed = team
+    import random
+
+    rng = random.Random(shuffle_seed)
+    pids = list(range(nprocs))
+    runs = {
+        pid: [FakeNotice(pid, seq) for seq in range(1, run_lens[pid] + 1)]
+        for pid in pids
+    }
+    # Flat batched fold: non-master arrivals concatenated in pid order.
+    flat = [n for pid in pids if pid != 0 for n in runs[pid]]
+    # Tree fold: the root combines its children's subtree chunks.
+    chunks = [
+        _tree_combined(pids, pids.index(child), radix, runs, rng)
+        for child in sorted(tree_children(pids, 0, radix))
+    ]
+    rng.shuffle(chunks)
+    tree = writer_sorted(chunks)
+    assert tree == flat
+
+
+@given(teams())
+@settings(max_examples=100, deadline=None)
+def test_every_subtree_chunk_is_writer_grouped(team):
+    """Interior chunks are ascending-writer runs — the canonical form the
+    run-batched ``apply_notices`` ingestion requires."""
+    nprocs, radix, run_lens, shuffle_seed = team
+    import random
+
+    rng = random.Random(shuffle_seed)
+    pids = list(range(nprocs))
+    runs = {
+        pid: [FakeNotice(pid, seq) for seq in range(1, run_lens[pid] + 1)]
+        for pid in pids
+    }
+    for pos in range(1, nprocs):
+        chunk = _tree_combined(pids, pos, radix, runs, rng)
+        writers = [n.proc for n in chunk]
+        assert writers == sorted(writers)
+        for writer in set(writers):
+            seqs = [n.seq for n in chunk if n.proc == writer]
+            assert seqs == sorted(seqs)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: same memory with the tree on and off
+# ---------------------------------------------------------------------------
+def _tree_cfg(radix=2, gc_limit=None):
+    dsm = DsmParams() if gc_limit is None else DsmParams(gc_interval_limit=gc_limit)
+    return SystemConfig().with_(
+        perf=PerfParams(barrier_tree=True, barrier_radix=radix), dsm=dsm
+    )
+
+
+def _flat_cfg(gc_limit=None):
+    dsm = DsmParams() if gc_limit is None else DsmParams(gc_interval_limit=gc_limit)
+    return SystemConfig().with_(dsm=dsm)
+
+
+def _block_program(rt, rounds=3):
+    """Each process scales its row block; every round reads neighbours."""
+    seg = rt.malloc("grid", shape=(24, 32), dtype="float64")
+    arr = SharedArray(seg)
+
+    def init(ctx, pid, nprocs, args):
+        if pid == 0:
+            yield from ctx.access(seg, writes=arr.full())
+            if ctx.materialized:
+                arr.view(ctx)[:] = 1.0
+
+    def scale(ctx, pid, nprocs, args):
+        lo, hi = arr.block(pid, nprocs)
+        yield from ctx.access(
+            seg, reads=arr.rows(lo, hi), writes=arr.rows(lo, hi)
+        )
+        if ctx.materialized:
+            arr.view(ctx)[lo:hi] *= float(pid + 2)
+        yield from ctx.compute(1e-5)
+
+    phases = {"init": init, "scale": scale}
+    order = ["init"] + ["scale"] * rounds
+    return arr, phases, order
+
+
+def _final_grid(cfg, nprocs=5, rounds=3):
+    sim, rt, pool = build_system(nprocs=nprocs, cfg=cfg)
+    arr, phases, order = _block_program(rt, rounds)
+    result = run_phases(rt, phases, order)
+    grid = np.array(rt.procs[0].array(arr.seg))
+    return grid, result
+
+
+class TestBatchedFoldIdentity:
+    """S1: the master's one-ingestion barrier fold is gated and bitwise
+    identical to the per-arrival reference fold."""
+
+    def _barrier_run(self, fold_batch, gc_limit=None):
+        dsm = (DsmParams() if gc_limit is None
+               else DsmParams(gc_interval_limit=gc_limit))
+        cfg = SystemConfig().with_(
+            perf=PerfParams(barrier_fold_batch=fold_batch), dsm=dsm
+        )
+        sim, rt, pool = build_system(nprocs=5, cfg=cfg)
+        seg = rt.malloc("grid", shape=(20, 32), dtype="float64")
+        arr = SharedArray(seg)
+
+        def phase(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(seg, writes=arr.rows(lo, hi))
+            if ctx.materialized:
+                arr.view(ctx)[lo:hi] += pid + 1
+            yield from ctx.barrier()
+            yield from ctx.access(seg, reads=arr.full())
+            yield from ctx.compute(1e-5)
+
+        result = run_phases(rt, {"phase": phase}, ["phase"] * 4)
+        grid = np.array(rt.procs[0].array(seg))
+        return grid, result
+
+    @pytest.mark.parametrize("gc_limit", [None, 4])
+    def test_bitwise_identical(self, gc_limit):
+        g_on, r_on = self._barrier_run(True, gc_limit)
+        g_off, r_off = self._barrier_run(False, gc_limit)
+        np.testing.assert_array_equal(g_on, g_off)
+        assert r_on.runtime_seconds == r_off.runtime_seconds
+        assert r_on.traffic.messages == r_off.traffic.messages
+        assert r_on.traffic.bytes == r_off.traffic.bytes
+        total_on = sum(s.barriers for s in r_on.per_process.values())
+        assert total_on == sum(s.barriers for s in r_off.per_process.values())
+        assert total_on > 0
+
+
+class TestTreeEndToEnd:
+    @pytest.mark.parametrize("radix", [2, 3, 8])
+    def test_same_memory_tree_vs_flat(self, radix):
+        flat_grid, _ = _final_grid(_flat_cfg())
+        tree_grid, _ = _final_grid(_tree_cfg(radix))
+        np.testing.assert_array_equal(flat_grid, tree_grid)
+
+    def test_same_memory_with_gc_rounds(self):
+        flat_grid, flat_res = _final_grid(_flat_cfg(gc_limit=4), rounds=6)
+        tree_grid, tree_res = _final_grid(_tree_cfg(2, gc_limit=4), rounds=6)
+        np.testing.assert_array_equal(flat_grid, tree_grid)
+        gcs = sum(s.gcs for s in tree_res.per_process.values())
+        assert gcs > 0, "GC never fired; the tree GC relay went untested"
+
+    def test_tree_run_is_deterministic(self):
+        g1, r1 = _final_grid(_tree_cfg(2))
+        g2, r2 = _final_grid(_tree_cfg(2))
+        np.testing.assert_array_equal(g1, g2)
+        assert r1.runtime_seconds == r2.runtime_seconds
+        assert r1.traffic.messages == r2.traffic.messages
+
+    def test_explicit_barrier_uses_tree(self):
+        """ctx.barrier() engages the TreeBarrier state machine."""
+        cfg = _tree_cfg(2)
+        sim, rt, pool = build_system(nprocs=4, cfg=cfg)
+        seg = rt.malloc("x", shape=(8, 8), dtype="float64")
+        arr = SharedArray(seg)
+        hits = []
+
+        def phase(ctx, pid, nprocs, args):
+            lo, hi = arr.block(pid, nprocs)
+            yield from ctx.access(seg, writes=arr.rows(lo, hi))
+            if ctx.materialized:
+                arr.view(ctx)[lo:hi] = pid
+            yield from ctx.barrier()
+            yield from ctx.access(seg, reads=arr.full())
+            if ctx.materialized:
+                got = np.array(arr.view(ctx))
+                for p in range(nprocs):
+                    plo, phi = arr.block(p, nprocs)
+                    assert (got[plo:phi] == p).all()
+            hits.append(pid)
+
+        run_phases(rt, {"phase": phase}, ["phase"])
+        assert sorted(hits) == [0, 1, 2, 3]
+        assert all(
+            p.tree_barrier is not None and p.tree_barrier.round > 0
+            for p in rt.procs.values()
+        )

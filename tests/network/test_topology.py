@@ -1,0 +1,150 @@
+"""Pluggable topologies: the fat-tree hierarchy and the topology factory."""
+
+import pytest
+
+from repro.config import NetworkParams, PerfParams
+from repro.errors import ConfigurationError
+from repro.network import FatTreeSwitch, Message, Switch, build_topology
+from repro.network.link import Link
+from repro.simcore import Simulator
+
+
+def make_fattree(n=6, radix=2, **kw):
+    sim = Simulator()
+    switch = FatTreeSwitch(sim, NetworkParams(**kw) if kw else None, radix=radix)
+    nics = [switch.attach(i) for i in range(n)]
+    return sim, switch, nics
+
+
+class TestFactory:
+    def test_star_is_plain_switch(self):
+        sim = Simulator()
+        params = NetworkParams()
+        sw = build_topology(sim, params, PerfParams())
+        assert type(sw) is Switch
+
+    def test_none_perf_is_star(self):
+        sw = build_topology(Simulator(), NetworkParams(), None)
+        assert type(sw) is Switch
+
+    def test_fattree_selected(self):
+        perf = PerfParams(topology="fattree", topology_radix=4)
+        sw = build_topology(Simulator(), NetworkParams(), perf)
+        assert isinstance(sw, FatTreeSwitch)
+        assert sw.radix == 4
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerfParams(topology="hypercube").validate()
+
+    def test_bad_radix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FatTreeSwitch(Simulator(), radix=1)
+
+
+class TestFatTreeRouting:
+    def test_same_leaf_matches_star_arithmetic(self):
+        """Intra-leaf messages keep the star's exact latency model."""
+        sim_a, star, _ = (Simulator(), None, None)
+        star = Switch(Simulator(), NetworkParams())
+        for i in range(2):
+            star.attach(i)
+        sim, ft, nics = make_fattree(n=2, radix=2)
+        m1 = Message("d", src=0, dst=1, size_bytes=4000)
+        m2 = Message("d", src=0, dst=1, size_bytes=4000)
+        assert ft.transmit(m1) == star.transmit(m2)
+        assert not ft.trunk_up[0].messages_carried
+
+    def test_cross_leaf_pays_extra_switch_hops(self):
+        sim, ft, nics = make_fattree(n=4, radix=2)
+        p = ft.params
+        arrival = ft.transmit(Message("d", src=0, dst=2, size_bytes=1000))
+        expected = (
+            p.one_way_latency
+            + FatTreeSwitch.EXTRA_HOPS * p.switch_hop_latency
+            + 1000 * p.per_byte
+        )
+        assert arrival == pytest.approx(expected, rel=1e-12)
+
+    def test_cross_leaf_occupies_trunks(self):
+        sim, ft, nics = make_fattree(n=4, radix=2)
+        ft.transmit(Message("d", src=0, dst=2, size_bytes=1000))
+        wire = 1000 + ft.params.header_bytes
+        assert ft.trunk_up[0].bytes_carried == wire
+        assert ft.trunk_down[1].bytes_carried == wire
+        assert ft.trunk_up[1].bytes_carried == 0
+
+    def test_trunk_contention_serializes(self):
+        """Two cross-leaf messages from the same leaf share its trunk."""
+        sim, ft, nics = make_fattree(n=6, radix=2)
+        size = 125000  # 10 ms wire time at the default rate
+        a1 = ft.transmit(Message("d", src=0, dst=4, size_bytes=size))
+        a2 = ft.transmit(Message("d", src=1, dst=5, size_bytes=size))
+        # Distinct node links, but the shared trunk.up0 forces the second
+        # message to wait out the first's slot.
+        assert a2 > a1
+        sim2, ft2, _ = make_fattree(n=6, radix=4)
+        b1 = ft2.transmit(Message("d", src=0, dst=4, size_bytes=size))
+        b2 = ft2.transmit(Message("d", src=1, dst=5, size_bytes=size))
+        # With radix 4 the sources share a leaf with dst 4/5? no: leaf(0)=0,
+        # leaf(4)=1, leaf(5)=1 — still cross-leaf, same trunk pair, so the
+        # serialization reproduces; the contrast is the star:
+        star = Switch(Simulator(), NetworkParams())
+        for i in range(6):
+            star.attach(i)
+        c1 = star.transmit(Message("d", src=0, dst=4, size_bytes=size))
+        c2 = star.transmit(Message("d", src=1, dst=5, size_bytes=size))
+        assert c1 == c2  # disjoint pairs never contend on the star
+
+    def test_per_link_accounting_includes_trunks(self):
+        sim, ft, nics = make_fattree(n=4, radix=2)
+        ft.transmit(Message("d", src=0, dst=2, size_bytes=1000))
+        sim.run()
+        per = ft.stats.snapshot().per_link_bytes
+        assert "trunk.up0" in per and "trunk.down1" in per
+        assert per["trunk.up0"] == 1000 + ft.params.header_bytes
+
+    def test_link_report_covers_trunks(self):
+        sim, ft, nics = make_fattree(n=4, radix=2)
+        ft.transmit(Message("d", src=0, dst=2, size_bytes=1000))
+        report = ft.link_report()
+        assert report["trunk.up0"] > 0
+        assert set(ft.link_report()) == {l.name for l in ft.iter_links()}
+
+
+class TestMultiHopOccupy:
+    def test_four_hop_joint_reservation_tolerates_float_drift(self):
+        """Regression: a long chain of 4-hop joint reservations must not
+        trip the occupy() sanity check on float rounding noise.
+
+        Each reservation computes ``start`` as a max over four float
+        ``busy_until`` values; with an absolute epsilon the accumulated
+        drift at large simulated times rejects exact-by-construction
+        slots.  The relative tolerance must absorb it.
+        """
+        links = [Link(name=f"hop{i}", per_byte=8e-8) for i in range(4)]
+        # Pre-age the chain to a large simulated time, where one ulp of
+        # float64 exceeds an absolute 1e-12.
+        for link in links:
+            link.busy_until = 1.0e7 + 0.123456789
+        for n in range(5000):
+            start = max(link.busy_until for link in links)
+            for link in links:
+                link.occupy(start, 1477)
+        assert all(link.messages_carried == 5000 for link in links)
+
+    def test_one_ulp_early_start_tolerated(self):
+        """At t=1e7 one float64 ulp (~1.9e-9) dwarfs an absolute 1e-12;
+        the old check rejected slots that are exact by construction."""
+        import math
+
+        link = Link(name="x", per_byte=8e-8)
+        link.busy_until = 1.0e7
+        start = math.nextafter(1.0e7, 0.0)
+        assert link.occupy(start, 100) > start  # must not raise
+
+    def test_occupy_still_rejects_real_conflicts(self):
+        link = Link(name="x", per_byte=8e-8)
+        link.occupy(0.0, 125000)  # busy until 10 ms
+        with pytest.raises(ValueError):
+            link.occupy(0.005, 1)

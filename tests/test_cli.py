@@ -193,3 +193,23 @@ class TestReport:
     def test_digest_mode_unknown_digest(self, tmp_path, capsys):
         assert main(["report", "--digest", "feedfacefeed",
                      "--cache-dir", str(tmp_path)]) == 2
+
+
+class TestScale:
+    def test_scale_writes_report_and_report_renders_it(self, tmp_path, capsys):
+        out = tmp_path / "scale.json"
+        assert main(["scale", "--quick", "--nodes", "8",
+                     "--no-gate-scenario", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--scale", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "master uplink busy time" in rendered
+        assert "fattree" in rendered
+
+    def test_report_scale_rejects_wrong_schema(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "something-else"}')
+        assert main(["report", "--scale", str(bogus)]) == 2
+
+    def test_scale_rejects_bad_nodes(self, capsys):
+        assert main(["scale", "--nodes", "eight"]) == 2
