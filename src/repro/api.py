@@ -1,4 +1,4 @@
-"""The public facade: one way in for every consumer.
+r"""The public facade: one way in for every consumer.
 
 Every driver — the CLI, the perf/recovery benches, the pytest benchmark
 grids, user scripts — builds a :class:`ScenarioSpec` and calls
@@ -22,13 +22,27 @@ Typical use::
     )
     report = run(spec, obs=ObsConfig(trace_path="trace.json"))
     print(report.cost_breakdown.adaptation_seconds)
+
+Since PR 9 the facade also fronts the distributed sweep service
+(docs/SERVICE.md): :func:`serve` starts a coordinator, :func:`submit`
+streams :class:`RunReport`\ s back from one, and :func:`sweep` accepts
+an ``executor`` — a backend name, an
+:class:`~repro.exec.executor.ExecutorConfig`, or any object satisfying
+the :class:`~repro.exec.executor.Executor` protocol — making local,
+serial and remote execution interchangeable::
+
+    with serve(cache_dir="cache") as coordinator:
+        for report in submit(specs, coordinator.address):
+            print(report.spec.display_name, report.deduped)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
+from .errors import ExecError
+from .exec.executor import Executor, ExecutorConfig, make_executor
 from .exec.pool import SweepOutcome, execute_spec, run_specs
 from .exec.result import ScenarioResult
 from .exec.spec import AdaptEvent, ScenarioSpec, spec_from_preset
@@ -37,13 +51,18 @@ from .obs.export import write_chrome_trace, write_metrics
 
 __all__ = [
     "AdaptEvent",
+    "Executor",
+    "ExecutorConfig",
     "ObsConfig",
     "RunReport",
     "ScenarioSpec",
     "SweepOutcome",
+    "make_executor",
     "run",
     "run_many",
+    "serve",
     "spec_from_preset",
+    "submit",
     "sweep",
 ]
 
@@ -65,6 +84,16 @@ class RunReport:
     cost_breakdown: Optional[CostBreakdown] = None
     #: Wall-clock seconds of the simulation.
     wall_seconds: float = 0.0
+
+    # -- service-streamed reports (:func:`submit`) ------------------------
+    #: Position of :attr:`spec` in the submitted batch (-1 for local runs).
+    index: int = -1
+    #: Served from the coordinator's cache without executing.
+    cached: bool = False
+    #: Coalesced onto another in-flight submission of the same digest.
+    deduped: bool = False
+    #: Remote worker that executed the scenario ("" locally / for hits).
+    worker_id: str = ""
 
     # -- export handles ---------------------------------------------------
     def _require_registry(self) -> Registry:
@@ -132,6 +161,22 @@ def run(
     return report
 
 
+def _resolve_executor(
+    executor: Union[str, ExecutorConfig, Executor],
+) -> Executor:
+    """Backend name / config / instance -> a ready :class:`Executor`."""
+    if isinstance(executor, str):
+        executor = ExecutorConfig(backend=executor)
+    if isinstance(executor, ExecutorConfig):
+        return make_executor(executor)
+    if isinstance(executor, Executor):
+        return executor
+    raise ExecError(
+        f"executor must be a backend name, an ExecutorConfig, or an "
+        f"Executor instance, not {type(executor).__name__}"
+    )
+
+
 def sweep(
     specs: Sequence[ScenarioSpec],
     *,
@@ -143,11 +188,20 @@ def sweep(
     progress: Any = None,
     supervisor: Any = None,
     obs: Optional[Registry] = None,
+    executor: Optional[Union[str, ExecutorConfig, Executor]] = None,
 ) -> SweepOutcome:
     """Run many scenarios through the parallel, cached engine.
 
     The facade name for :func:`repro.exec.pool.run_specs` — results come
     back in spec order, bitwise-identical to serial execution.
+
+    ``executor`` picks the backend: a name (``"local"``/``"serial"``/
+    ``"remote"``), an :class:`~repro.exec.executor.ExecutorConfig`, or
+    any :class:`~repro.exec.executor.Executor` instance — all three
+    backends honor the same contract, so callers cannot tell *where* a
+    sweep ran.  With an executor, the per-call engine knobs (``jobs``,
+    ``cache``, ``refresh``, ``retries``, ``supervisor``) must stay at
+    their defaults — the executor's config carries them instead.
 
     ``supervisor`` (a :class:`repro.exec.supervisor.SupervisorPolicy`)
     carries the resilience policy — deadlines, seeded backoff retries,
@@ -158,6 +212,24 @@ def sweep(
     """
     from .config import EXEC_RETRIES
 
+    if executor is not None:
+        overlapping = [
+            name
+            for name, value in (
+                ("jobs", jobs), ("cache", cache), ("refresh", refresh or None),
+                ("retries", retries), ("supervisor", supervisor),
+            )
+            if value is not None
+        ]
+        if overlapping:
+            raise ExecError(
+                f"sweep(executor=...) carries its own engine configuration; "
+                f"drop the conflicting argument(s) {overlapping} "
+                f"(put them in ExecutorConfig instead)"
+            )
+        return _resolve_executor(executor).execute(
+            specs, repeat=repeat, progress=progress, obs=obs
+        )
     return run_specs(
         specs,
         jobs=jobs,
@@ -174,3 +246,81 @@ def sweep(
 def run_many(specs: Sequence[ScenarioSpec], **kwargs: Any) -> List[ScenarioResult]:
     """Convenience: :func:`sweep`, returning just the results in order."""
     return sweep(specs, **kwargs).results
+
+
+# ---------------------------------------------------------------------------
+# the distributed sweep service (docs/SERVICE.md)
+# ---------------------------------------------------------------------------
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    cache_dir: Optional[str] = None,
+    cache: Any = None,
+    no_cache: bool = False,
+    max_attempts: Optional[int] = None,
+):
+    """Start a sweep-service coordinator; returns it already listening.
+
+    The coordinator accepts workers (``repro workers``) and submissions
+    (:func:`submit` / ``repro submit``) on ``host:port`` (``port=0``
+    binds an ephemeral port — read it back from ``.address``).  Results
+    land in the shared content-addressed cache named by ``cache_dir``
+    (or an explicit :class:`~repro.exec.cache.ResultCache`); ``None``
+    uses the default cache location.  Use as a context manager or call
+    ``.stop()``; ``.serve_forever()`` is the ``repro serve`` foreground.
+    """
+    from .config import EXEC_CACHE_DIR
+    from .exec.cache import ResultCache
+    from .exec.service import DEFAULT_MAX_ATTEMPTS, Coordinator
+
+    if no_cache:
+        if cache is not None or cache_dir is not None:
+            raise ExecError("no_cache=True excludes cache/cache_dir")
+        cache = None
+    elif cache is None:
+        cache = ResultCache(root=cache_dir or EXEC_CACHE_DIR)
+    elif cache_dir is not None:
+        raise ExecError("pass cache_dir or cache, not both")
+    return Coordinator(
+        host=host,
+        port=port,
+        cache=cache,
+        max_attempts=(DEFAULT_MAX_ATTEMPTS if max_attempts is None
+                      else max_attempts),
+    ).start()
+
+
+def submit(
+    specs: Sequence[ScenarioSpec],
+    coordinator: str,
+    *,
+    repeat: int = 1,
+    no_cache: bool = False,
+    refresh: bool = False,
+) -> Iterator[RunReport]:
+    """Submit a batch to a running coordinator; stream the reports back.
+
+    Yields one :class:`RunReport` per spec **in completion order** (the
+    ``index`` field says which spec; cache hits arrive first, executed
+    results as workers finish them).  Identical concurrent submissions
+    are deduped coordinator-side: every submitter still receives its
+    full report stream, but the simulation runs once
+    (``report.deduped`` marks the attached copies).  Streamed reports
+    carry no live ``experiment``/``registry`` — the simulation ran in
+    another process; everything deterministic is in ``result``.
+    """
+    from .exec.service import Submission
+
+    specs = list(specs)
+    for served in Submission(specs, coordinator, repeat=repeat,
+                             no_cache=no_cache, refresh=refresh):
+        yield RunReport(
+            spec=served.spec,
+            result=served.result,
+            wall_seconds=served.wall_seconds,
+            index=served.index,
+            cached=served.cached,
+            deduped=served.deduped,
+            worker_id=served.worker,
+        )

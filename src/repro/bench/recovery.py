@@ -91,6 +91,7 @@ def recovery_sweep(
     jobs: int = 1,
     cache=None,
     refresh: bool = False,
+    executor=None,
 ) -> List[RecoveryPoint]:
     """Run the sweep; ``None`` in ``intervals`` means no checkpointing.
 
@@ -101,8 +102,12 @@ def recovery_sweep(
     The per-interval runs go through the :mod:`repro.exec` engine —
     ``jobs`` shards them across worker processes and ``cache`` (a
     :class:`~repro.exec.ResultCache`) skips re-simulating unchanged
-    points.  A custom ``cfg`` is not expressible as a scenario spec, so
-    it forces the legacy serial in-process path.
+    points.  ``executor`` (anything :func:`repro.api.sweep` accepts for
+    its ``executor`` argument) replaces the ``jobs``/``cache``/
+    ``refresh`` trio wholesale — e.g. a remote backend runs the interval
+    grid on a coordinator's workers.  A custom ``cfg`` is not
+    expressible as a scenario spec, so it forces the legacy serial
+    in-process path.
     """
     if cfg is not None:
         return _recovery_sweep_legacy(
@@ -117,9 +122,12 @@ def recovery_sweep(
         nprocs=nprocs, calibrated=False, adaptive=True, materialized=True,
         extra_nodes=1, label="recovery-baseline",
     )
-    baseline = sweep(
-        [base_spec], jobs=1, cache=cache, refresh=refresh,
-    ).results[0]
+    if executor is not None:
+        baseline = sweep([base_spec], executor=executor).results[0]
+    else:
+        baseline = sweep(
+            [base_spec], jobs=1, cache=cache, refresh=refresh,
+        ).results[0]
     crash_at = baseline.runtime_seconds * crash_fraction
 
     specs = [
@@ -131,7 +139,10 @@ def recovery_sweep(
         )
         for interval in intervals
     ]
-    outcome = sweep(specs, jobs=jobs, cache=cache, refresh=refresh)
+    if executor is not None:
+        outcome = sweep(specs, executor=executor)
+    else:
+        outcome = sweep(specs, jobs=jobs, cache=cache, refresh=refresh)
 
     points: List[RecoveryPoint] = []
     for interval, res in zip(intervals, outcome.results):

@@ -240,6 +240,20 @@ def _report_from_sweep(args) -> int:
         rows.append([f"failures: {kind}", n])
     for key, value in sorted(payload.get("cache", {}).items()):
         rows.append([f"cache {key}", value])
+    service = payload.get("service") or {}
+    for key in ("submitted", "executed", "cache_hits", "deduped",
+                "requeued", "failed", "inflight_peak", "workers",
+                "workers_joined", "workers_lost"):
+        if key in service:
+            rows.append([f"exec.service.{key}", service[key]])
+    for kind, n in sorted(service.get("failure_counts", {}).items()):
+        rows.append([f"exec.service.failure.{kind}", n])
+    for wid, info in sorted(service.get("per_worker", {}).items()):
+        rows.append([
+            f"exec.service.worker.{wid}",
+            f"{info.get('tasks', 0):.0f} task(s) in "
+            f"{info.get('busy_seconds', 0.0):.2f}s busy",
+        ])
     print(format_table(
         ["metric", "value"], rows,
         title=f"Sweep resilience report: {args.sweep}",
@@ -322,13 +336,25 @@ def cmd_report(args) -> int:
     return 0 if consistent else 1
 
 
-def _make_cache(args):
-    """A ResultCache honoring ``--no-cache``/``--cache-dir``, or None."""
-    if getattr(args, "no_cache", False):
-        return None
-    from .exec import ResultCache
+def _executor_from_args(args, jobs_default=None):
+    """Build the :class:`~repro.exec.executor.Executor` the shared engine
+    flags describe, or print the problem and return None."""
+    from .api import make_executor
+    from .exec.executor import ExecutorConfig
 
-    return ResultCache(root=args.cache_dir)
+    jobs = args.jobs if args.jobs is not None else jobs_default
+    try:
+        return make_executor(ExecutorConfig(
+            jobs=jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            refresh=args.refresh,
+            backend=args.executor,
+            coordinator=args.coordinator,
+        ))
+    except ReproError as err:
+        print(f"bad executor configuration: {err}", file=sys.stderr)
+        return None
 
 
 def _progress_printer(total_specs):
@@ -358,6 +384,11 @@ def _sweep_summary(outcome) -> str:
         line += f" [failures: {kinds}]"
     if outcome.degraded:
         line += " [DEGRADED to serial execution]"
+    if outcome.service:
+        sv = outcome.service
+        line += (f" [service: workers={sv.get('workers', 0)} "
+                 f"deduped={sv.get('deduped', 0)} "
+                 f"requeued={sv.get('requeued', 0)}]")
     return line
 
 
@@ -370,9 +401,11 @@ def cmd_table1(args) -> int:
                          label=f"{app}-{nprocs}")
         for app, nprocs in grid
     ]
+    executor = _executor_from_args(args, jobs_default=1)
+    if executor is None:
+        return 2
     outcome = api_sweep(
-        specs, jobs=args.jobs, cache=_make_cache(args), refresh=args.refresh,
-        progress=_progress_printer(len(specs)),
+        specs, executor=executor, progress=_progress_printer(len(specs)),
     )
     rows = []
     for (app, nprocs), res in zip(grid, outcome.results):
@@ -392,31 +425,45 @@ def cmd_table1(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    from .api import spec_from_preset, sweep as api_sweep
+def _grid_specs(args):
+    """The app x nodes spec grid ``--apps``/``--nodes``/``--preset``
+    describe (shared by ``sweep`` and ``submit``), or None on bad input
+    (problem printed)."""
+    from .api import spec_from_preset
 
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     for app in apps:
         if app not in APP_NAMES:
             print(f"unknown app {app!r}; one of {', '.join(APP_NAMES)}",
                   file=sys.stderr)
-            return 2
+            return None
     try:
         nodes = [int(v) for v in args.nodes.split(",") if v.strip()]
     except ValueError:
         print(f"bad --nodes {args.nodes!r}; expected e.g. 1,4,8", file=sys.stderr)
-        return 2
-
+        return None
     grid = [(app, nprocs) for app in apps for nprocs in nodes]
     specs = [
         spec_from_preset(args.preset, app, nprocs,
-                         calibrated=not args.uncalibrated,
+                         calibrated=not getattr(args, "uncalibrated", False),
                          label=f"{app}-{nprocs}")
         for app, nprocs in grid
     ]
+    return grid, specs
+
+
+def cmd_sweep(args) -> int:
+    from .api import sweep as api_sweep
+
+    built = _grid_specs(args)
+    if built is None:
+        return 2
+    grid, specs = built
+    executor = _executor_from_args(args)
+    if executor is None:
+        return 2
     outcome = api_sweep(
-        specs, jobs=args.jobs, cache=_make_cache(args), refresh=args.refresh,
-        progress=_progress_printer(len(specs)),
+        specs, executor=executor, progress=_progress_printer(len(specs)),
     )
     rows = [
         [app, nprocs, f"{res.runtime_seconds:.2f}", res.pages,
@@ -451,6 +498,7 @@ def cmd_sweep(args) -> int:
             "retried": outcome.retried,
             "failures": dict(sorted(outcome.failure_counts.items())),
             "degraded": outcome.degraded,
+            "service": outcome.service,
             "scenarios": [
                 {
                     "spec": task.spec.canonical_dict(),
@@ -534,8 +582,12 @@ def cmd_perfbench(args) -> int:
         write_report,
     )
 
+    if args.executor == "remote":
+        print("perfbench measures this host's wall clock; "
+              "--executor remote is not supported", file=sys.stderr)
+        return 2
     cache = None
-    if args.cache:
+    if args.cache and not args.no_cache:
         from .exec import ResultCache
 
         cache = ResultCache(root=args.cache_dir)
@@ -554,9 +606,11 @@ def cmd_perfbench(args) -> int:
     repeat = args.repeat
     if repeat is None:
         repeat = 3 if args.quick else 1
+    jobs = args.jobs if args.jobs is not None else 1
     report = run_perfbench(
         quick=args.quick, paper=args.paper, repeat=repeat,
-        jobs=args.jobs, cache=cache, refresh=args.refresh,
+        jobs=1 if args.executor == "serial" else jobs,
+        cache=cache, refresh=args.refresh,
         parallel_check=args.parallel,
     )
     rows = []
@@ -752,13 +806,14 @@ def cmd_recovery(args) -> int:
     from .bench import recovery_sweep, sweep_rows
 
     intervals = [None] + [float(v) for v in (args.intervals or "0.1,0.2,0.4").split(",")]
+    executor = _executor_from_args(args, jobs_default=1)
+    if executor is None:
+        return 2
     points = recovery_sweep(
         intervals=intervals,
         nprocs=args.nprocs,
         crash_fraction=args.crash_fraction,
-        jobs=args.jobs,
-        cache=_make_cache(args),
-        refresh=args.refresh,
+        executor=executor,
     )
     print(format_table(
         ["interval (s)", "t (s)", "overhead (s)", "ckpts", "detect (ms)",
@@ -770,20 +825,248 @@ def cmd_recovery(args) -> int:
     return 0 if all(p.verified in (True, None) for p in points) else 1
 
 
-def _add_engine_args(p, jobs_default=1, cache_default_on=True):
-    """The shared execution-engine flags (--jobs and the cache trio)."""
-    from .config import EXEC_CACHE_DIR
+# ---------------------------------------------------------------------------
+# the distributed sweep service (docs/SERVICE.md)
+# ---------------------------------------------------------------------------
+def _coordinator_address(args) -> str:
+    from .exec.service import DEFAULT_PORT
 
-    p.add_argument("--jobs", type=int, default=jobs_default,
+    return args.coordinator or f"127.0.0.1:{DEFAULT_PORT}"
+
+
+def cmd_serve(args) -> int:
+    """Run a sweep-service coordinator in the foreground."""
+    from .errors import ExecError
+
+    if args.stop:
+        from .exec.service import stop_service
+
+        address = args.coordinator or f"{args.host}:{args.port}"
+        try:
+            stop_service(address)
+        except ExecError as err:
+            print(f"cannot stop coordinator at {address}: {err}",
+                  file=sys.stderr)
+            return 2
+        print(f"coordinator at {address} stopped")
+        return 0
+    from .api import serve
+
+    try:
+        coordinator = serve(
+            args.host, args.port,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            no_cache=args.no_cache,
+            max_attempts=args.max_attempts,
+        )
+    except (ReproError, OSError) as err:
+        print(f"cannot start coordinator: {err}", file=sys.stderr)
+        return 2
+    cache_desc = "off" if args.no_cache else args.cache_dir
+    print(f"coordinator listening on {coordinator.address} "
+          f"(cache: {cache_desc}); submit with `repro submit --coordinator "
+          f"{coordinator.address}`, add workers with `repro workers "
+          f"--coordinator {coordinator.address}`", file=sys.stderr)
+    try:
+        coordinator.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a scenario grid to a running coordinator, stream reports."""
+    from .api import submit
+    from .errors import ExecError
+
+    built = _grid_specs(args)
+    if built is None:
+        return 2
+    grid, specs = built
+    address = _coordinator_address(args)
+    reports = []
+    try:
+        for rep in submit(specs, address, no_cache=args.no_cache,
+                          refresh=args.refresh):
+            via = ("cache" if rep.cached
+                   else "deduped" if rep.deduped
+                   else f"{rep.worker_id or '?'} in {rep.wall_seconds:.2f}s")
+            print(f"  [{len(reports) + 1}/{len(specs)}] "
+                  f"{rep.spec.display_name}: {via}", file=sys.stderr)
+            reports.append(rep)
+    except ExecError as err:
+        print(f"submission to {address} failed: {err}", file=sys.stderr)
+        return 1
+    reports.sort(key=lambda r: r.index)
+    rows = [
+        [app, nprocs, f"{rep.result.runtime_seconds:.2f}", rep.result.pages,
+         f"{rep.result.megabytes:.1f}", rep.result.messages, rep.result.diffs,
+         "cache" if rep.cached else "deduped" if rep.deduped
+         else rep.worker_id or "?"]
+        for (app, nprocs), rep in zip(grid, reports)
+    ]
+    print(format_table(
+        ["app", "nodes", "t(s)", "pages", "MB", "messages", "diffs", "via"],
+        rows,
+        title=f"Remote sweep via {address} ({args.preset} preset)",
+    ))
+    hits = sum(1 for r in reports if r.cached)
+    deduped = sum(1 for r in reports if r.deduped)
+    print(f"  {len(reports)} scenario(s): {hits} from the coordinator "
+          f"cache, {deduped} deduped onto in-flight executions",
+          file=sys.stderr)
+    if args.json:
+        import json as _json
+
+        payload = {
+            "schema": "repro-sweep/1",
+            "preset": args.preset,
+            "coordinator": address,
+            "scenarios": [
+                {
+                    "spec": rep.spec.canonical_dict(),
+                    "digest": rep.spec.config_digest(),
+                    "label": rep.spec.display_name,
+                    "cached": rep.cached,
+                    "deduped": rep.deduped,
+                    "worker": rep.worker_id,
+                    "result": rep.result.to_dict(),
+                }
+                for rep in reports
+            ],
+        }
+        with open(args.json, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"  wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_workers(args) -> int:
+    """Run service workers against a coordinator (or show its table)."""
+    from .errors import ExecError
+
+    address = _coordinator_address(args)
+    if args.status:
+        from .exec.service import service_status
+
+        try:
+            status = service_status(address)
+        except ExecError as err:
+            print(f"cannot reach coordinator at {address}: {err}",
+                  file=sys.stderr)
+            return 2
+        rows = [
+            [w["id"], w["host"], w["pid"], w["slots"], w["busy"],
+             w["tasks_done"]]
+            for w in status["workers"]
+        ] or [["(none)", "", "", "", "", ""]]
+        print(format_table(
+            ["worker", "host", "pid", "slots", "busy", "tasks done"],
+            rows, title=f"Workers registered at {address}",
+        ))
+        counters = status["counters"]
+        print("  " + " ".join(
+            f"{key}={counters.get(key, 0)}"
+            for key in ("submitted", "executed", "cache_hits", "deduped",
+                        "requeued", "failed", "queued", "inflight")))
+        return 0
+    from .exec.worker import worker_main
+
+    jobs = args.jobs if args.jobs is not None else 1
+    cache_dir = None if args.no_cache else args.cache_dir
+    count = max(1, args.count)
+    print(f"starting {count} worker(s) against {address} "
+          f"(leaf jobs={jobs}, cache: {cache_dir or 'off'})", file=sys.stderr)
+    if count == 1:
+        try:
+            worker_main(address, cache_dir=cache_dir, jobs=jobs,
+                        slots=args.slots)
+        except ExecError as err:
+            print(f"worker failed: {err}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            pass
+        return 0
+    import multiprocessing as mp
+
+    ctx = mp.get_context("spawn")
+    procs = [
+        ctx.Process(target=worker_main, args=(address,),
+                    kwargs=dict(cache_dir=cache_dir, jobs=jobs,
+                                slots=args.slots))
+        for _ in range(count)
+    ]
+    for proc in procs:
+        proc.start()
+    try:
+        for proc in procs:
+            proc.join()
+    except KeyboardInterrupt:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.join()
+    return 0
+
+
+def cmd_cache_merge(args) -> int:
+    """Lossless union of two result-cache directories."""
+    from .exec.merge import merge_caches
+
+    try:
+        stats = merge_caches(args.src, args.dst)
+    except ReproError as err:
+        print(f"cache merge failed: {err}", file=sys.stderr)
+        return 2
+    rows = [[key, value] for key, value in stats.as_dict().items()]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"Cache merge {args.src} -> {args.dst}",
+    ))
+    if stats.conflicts or stats.damaged:
+        print(f"  {stats.conflicts} conflict(s), {stats.damaged} damaged "
+              f"entr(ies) quarantined under {args.dst}/quarantine/",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """The shared argparse parent carrying the execution-engine flags.
+
+    Every engine-driven command (``sweep``/``table1``/``perfbench``/
+    ``recovery``/``serve``/``submit``/``workers``) accepts the same
+    ``--jobs``/``--no-cache``/``--refresh``/``--cache-dir``/
+    ``--executor``/``--coordinator`` set.  ``--jobs`` always parses as
+    None; commands that are serial by default (``table1``/``perfbench``/
+    ``recovery``) resolve None -> 1 in their command functions, because a
+    per-subparser ``set_defaults(jobs=...)`` would mutate the shared
+    parent action and leak into every other command.
+    """
+    from .config import EXEC_CACHE_DIR
+    from .exec.executor import BACKENDS
+
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group("execution engine")
+    g.add_argument("--jobs", type=int, default=None,
                    help="worker processes for the scenario engine "
-                        "(default: %(default)s; unset means one per core)")
-    if cache_default_on:
-        p.add_argument("--no-cache", action="store_true",
-                       help="bypass the content-addressed result cache")
-    p.add_argument("--refresh", action="store_true",
+                        "(default: command-specific; unset means one "
+                        "per core)")
+    g.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed result cache")
+    g.add_argument("--refresh", action="store_true",
                    help="re-execute and re-store even on a warm cache")
-    p.add_argument("--cache-dir", default=EXEC_CACHE_DIR,
+    g.add_argument("--cache-dir", default=EXEC_CACHE_DIR,
                    help="result-cache directory (default: %(default)s)")
+    g.add_argument("--executor", choices=BACKENDS, default="local",
+                   help="execution backend (default: %(default)s); "
+                        "'remote' submits to a coordinator")
+    g.add_argument("--coordinator", default=None, metavar="HOST:PORT",
+                   help="sweep-service coordinator address (for "
+                        "--executor remote and the service commands)")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -792,11 +1075,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Adaptive OpenMP-on-NOW (PPoPP 1999) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    engine = _engine_parent()
 
     sub.add_parser("list", help="list workload presets").set_defaults(fn=cmd_list)
     sub.add_parser("calibrate", help="show calibrated compute rates").set_defaults(fn=cmd_calibrate)
-    t1 = sub.add_parser("table1", help="regenerate Table 1")
-    _add_engine_args(t1)
+    t1 = sub.add_parser("table1", help="regenerate Table 1", parents=[engine])
     t1.set_defaults(fn=cmd_table1)
     sub.add_parser("micro", help="§5.1 micro-benchmark summary").set_defaults(fn=cmd_micro)
     sub.add_parser("fig3", help="Figure 3 analytic fractions").set_defaults(fn=cmd_fig3)
@@ -805,6 +1088,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep",
         help="run an app x nodes scenario grid through the parallel engine",
+        parents=[engine],
     )
     sweep.add_argument("--apps", default=",".join(APP_NAMES),
                        help="comma-separated kernels (default: all)")
@@ -820,7 +1104,6 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--timeline", default=None, metavar="FILE",
                        help="write the worker-pool timeline as a Chrome "
                             "trace (one track per worker)")
-    _add_engine_args(sweep, jobs_default=None)
     sweep.set_defaults(fn=cmd_sweep)
 
     def _add_scenario_args(p, app_required=True):
@@ -881,7 +1164,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep.set_defaults(fn=cmd_report)
 
     perf = sub.add_parser(
-        "perfbench", help="wall-clock engine benchmarks (events/s, sim-s per wall-s)"
+        "perfbench",
+        help="wall-clock engine benchmarks (events/s, sim-s per wall-s)",
+        parents=[engine],
     )
     perf.add_argument("--quick", action="store_true",
                       help="small scenarios for CI smoke runs")
@@ -918,7 +1203,6 @@ def build_parser() -> argparse.ArgumentParser:
                            "enabled and exit non-zero unless the simulated "
                            "outputs are bitwise identical to the "
                            "uninstrumented run")
-    _add_engine_args(perf, cache_default_on=False)
     perf.set_defaults(fn=cmd_perfbench)
 
     scale = sub.add_parser(
@@ -982,15 +1266,87 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(fn=cmd_chaos)
 
     rec = sub.add_parser(
-        "recovery", help="crash-recovery cost vs. checkpoint interval (Jacobi)"
+        "recovery",
+        help="crash-recovery cost vs. checkpoint interval (Jacobi)",
+        parents=[engine],
     )
     rec.add_argument("--nprocs", type=int, default=4)
     rec.add_argument("--intervals", default=None,
                      help="comma-separated checkpoint intervals in seconds")
     rec.add_argument("--crash-fraction", type=float, default=0.55,
                      help="crash instant as a fraction of the fault-free run")
-    _add_engine_args(rec)
     rec.set_defaults(fn=cmd_recovery)
+
+    from .exec.service import DEFAULT_PORT
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run a sweep-service coordinator (workers register, clients "
+             "submit; results land in the shared cache)",
+        parents=[engine],
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="interface to listen on (default: %(default)s)")
+    serve_p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help="TCP port (default: %(default)s; 0 binds an "
+                              "ephemeral port)")
+    serve_p.add_argument("--max-attempts", type=int, default=None,
+                         help="worker-death attempts per task before its "
+                              "submitters see a failure (default: 3)")
+    serve_p.add_argument("--stop", action="store_true",
+                         help="stop the coordinator at --coordinator (or "
+                              "--host:--port) instead of starting one")
+    serve_p.set_defaults(fn=cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit an app x nodes grid to a running coordinator and "
+             "stream the reports back",
+        parents=[engine],
+    )
+    submit_p.add_argument("--apps", default=",".join(APP_NAMES),
+                          help="comma-separated kernels (default: all)")
+    submit_p.add_argument("--nodes", default="1,4,8",
+                          help="comma-separated team sizes "
+                               "(default: %(default)s)")
+    submit_p.add_argument("--preset", choices=sorted(PRESETS),
+                          default="bench")
+    submit_p.add_argument("--uncalibrated", action="store_true",
+                          help="use the kernels' stock compute rates")
+    submit_p.add_argument("--json", default=None, metavar="FILE",
+                          help="write the streamed reports as JSON "
+                               "(sweep-payload shape)")
+    submit_p.set_defaults(fn=cmd_submit)
+
+    workers_p = sub.add_parser(
+        "workers",
+        help="run service workers against a coordinator (--status shows "
+             "the registered-worker table)",
+        parents=[engine],
+    )
+    workers_p.add_argument("--count", type=int, default=1,
+                           help="worker processes to start "
+                                "(default: %(default)s)")
+    workers_p.add_argument("--slots", type=int, default=1,
+                           help="concurrent tasks each worker leases "
+                                "(default: %(default)s)")
+    workers_p.add_argument("--status", action="store_true",
+                           help="query the coordinator's worker table "
+                                "instead of starting workers")
+    workers_p.set_defaults(fn=cmd_workers)
+
+    cache_p = sub.add_parser(
+        "cache", help="result-cache maintenance (merge)",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    merge_p = cache_sub.add_parser(
+        "merge",
+        help="lossless union of two cache directories (checksum-verified; "
+             "conflicts quarantined)",
+    )
+    merge_p.add_argument("src", help="source cache directory (read-only)")
+    merge_p.add_argument("dst", help="destination cache directory")
+    merge_p.set_defaults(fn=cmd_cache_merge)
     return parser
 
 

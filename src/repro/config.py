@@ -337,73 +337,29 @@ EXEC_CACHE_DIR = "benchmarks/results/cache"
 EXEC_RETRIES = 1
 
 
-@dataclass(frozen=True)
-class ExecParams:
-    """Host-side execution-engine defaults (:mod:`repro.exec`).
+def __getattr__(name: str):
+    """Deprecated host-side config spellings (PEP 562; PROTOCOL.md §12).
 
-    Unlike every other parameter group these describe the *host* running
-    the simulations — worker count, cache location — not the simulated
-    system, so they are not part of :class:`SystemConfig` and never enter
-    a scenario's config digest.
+    ``ExecParams`` was the host-side (worker count, cache dir, resilience
+    policy) knob bag; it grew a backend/transport axis and moved to
+    :class:`repro.exec.executor.ExecutorConfig`, which is a strict
+    superset — same fields, same defaults, same ``supervisor_policy()`` /
+    ``effective_jobs()`` methods.  The old spelling resolves to the new
+    class with a :class:`DeprecationWarning`.
     """
+    if name == "ExecParams":
+        import warnings
 
-    #: Worker processes for multi-scenario runs (None = one per core).
-    jobs: int | None = None
-
-    #: Directory of the content-addressed result cache.
-    cache_dir: str = EXEC_CACHE_DIR
-
-    #: Times a task is re-queued after its worker process crashes.
-    retries: int = EXEC_RETRIES
-
-    #: Wall-clock floor of a task's deadline (seconds); the supervisor
-    #: never reaps a worker younger than this.
-    deadline_floor: float = 30.0
-
-    #: First retry backoff (seconds); doubles each further attempt.
-    backoff_base: float = 0.05
-
-    #: Backoff ceiling (seconds).
-    backoff_max: float = 2.0
-
-    #: Consecutive pool-level failures before the sweep degrades to
-    #: in-process serial execution (0 disables degradation).
-    degrade_after: int = 3
-
-    def validate(self) -> None:
-        if self.jobs is not None and self.jobs < 1:
-            raise ConfigurationError("jobs must be >= 1")
-        if self.retries < 0:
-            raise ConfigurationError("retries must be >= 0")
-        if self.deadline_floor < 0:
-            raise ConfigurationError("deadline_floor must be >= 0")
-        if self.backoff_base < 0 or self.backoff_max < 0:
-            raise ConfigurationError("backoff delays must be >= 0")
-        if self.degrade_after < 0:
-            raise ConfigurationError("degrade_after must be >= 0")
-
-    def supervisor_policy(self):
-        """The :class:`repro.exec.supervisor.SupervisorPolicy` these
-        parameters describe."""
-        from .exec.supervisor import (
-            DeadlinePolicy,
-            RetryPolicy,
-            SupervisorPolicy,
+        warnings.warn(
+            "repro.config.ExecParams is deprecated; use "
+            "repro.exec.ExecutorConfig (docs/PROTOCOL.md §12)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from .exec.executor import ExecutorConfig
 
-        return SupervisorPolicy(
-            retry=RetryPolicy(max_attempts=self.retries + 1,
-                              base_delay=self.backoff_base,
-                              max_delay=self.backoff_max),
-            deadline=DeadlinePolicy(floor_seconds=self.deadline_floor),
-            degrade_after=self.degrade_after,
-        )
-
-    def effective_jobs(self) -> int:
-        """The actual worker count (resolves None to the core count)."""
-        import os
-
-        return self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+        return ExecutorConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..config import EXEC_RETRIES, ExecParams
+from ..config import EXEC_RETRIES
 from ..errors import ExecError
 from .cache import CacheStats, ResultCache
 from .result import ScenarioResult
@@ -57,7 +57,7 @@ REAP_GRACE_SECONDS = 2.0
 
 def default_jobs() -> int:
     """Worker count when ``--jobs`` is not given (one per core)."""
-    return ExecParams().effective_jobs()
+    return os.cpu_count() or 1
 
 
 # ---------------------------------------------------------------------------
@@ -164,6 +164,10 @@ class TaskOutcome:
     #: Per-attempt supervision history (failures first, then the final
     #: ``"ok"``); empty for cache hits and the plain serial path.
     attempt_log: Tuple[AttemptRecord, ...] = ()
+    #: Remote worker that executed this task (coordinator-assigned id,
+    #: e.g. ``"w2"``); empty for local execution, where ``worker`` — the
+    #: pool slot — is the whole story.
+    worker_id: str = ""
 
 
 @dataclass
@@ -181,6 +185,9 @@ class SweepOutcome:
     failure_counts: Dict[str, int] = field(default_factory=dict)
     #: True when the pool fell back to in-process serial execution.
     degraded: bool = False
+    #: Coordinator counter snapshot for remote sweeps (the
+    #: ``exec.service.*`` family as a dict); None for local execution.
+    service: Optional[Dict] = None
 
     @property
     def results(self) -> List[ScenarioResult]:

@@ -151,6 +151,51 @@ class ScenarioSpec:
         """A copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    # -- wire form ---------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-safe dict that round-trips through :meth:`from_wire`.
+
+        The canonical (digest-relevant) layout plus the display ``label``,
+        which the coordinator/worker protocol preserves but the digest
+        ignores.  ``ScenarioSpec.from_wire(spec.to_wire())`` reconstructs
+        a spec with an **identical** config digest — the property the
+        distributed service relies on to dedupe and cache across hosts.
+        """
+        d = self.canonical_dict()
+        d["label"] = self.label
+        return d
+
+    @classmethod
+    def from_wire(cls, d: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_wire` output (wire/JSON form)."""
+        schema = d.get("schema")
+        if schema != SPEC_SCHEMA:
+            raise ConfigurationError(
+                f"wire spec schema {schema!r} != {SPEC_SCHEMA!r}; "
+                "coordinator and worker run different repro versions"
+            )
+        events = tuple(
+            AdaptEvent(action=e["action"], time=e["time"],
+                       node=e.get("node"), grace=e.get("grace"))
+            for e in d.get("events", ())
+        )
+        return cls(
+            kernel=d["kernel"],
+            params=dict(d.get("params", {})),
+            nprocs=d.get("nprocs", 4),
+            calibrated=d.get("calibrated", True),
+            adaptive=d.get("adaptive", False),
+            materialized=d.get("materialized", False),
+            extra_nodes=d.get("extra_nodes", 0),
+            events=events,
+            fault_plan=d.get("fault_plan"),
+            checkpoint_interval=d.get("checkpoint_interval"),
+            failure_detection=d.get("failure_detection", False),
+            seed=d.get("seed"),
+            perf=dict(d.get("perf", {})),
+            label=d.get("label"),
+        )
+
     @property
     def display_name(self) -> str:
         return self.label or f"{self.kernel}-{self.nprocs}"

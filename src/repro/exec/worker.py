@@ -1,0 +1,210 @@
+"""Worker leaf of the distributed sweep service.
+
+A :class:`Worker` connects to a coordinator (:mod:`repro.exec.service`),
+registers with ``hello``, and then executes the tasks it is handed one
+at a time — each through :func:`repro.exec.pool.run_specs`, i.e. the
+**existing** engine with its spawn pool, supervisor and (optional) local
+cache wrapped as this host's local leaf:
+
+* ``jobs=1`` (the default) runs the simulation in-process — cheapest,
+  and what the CI/service tests use;
+* ``jobs>=2`` spawns the scenario into a supervised worker *process*,
+  buying crash isolation and the retry/deadline machinery of PR 6 for
+  each leased task (``repro workers --isolate``).
+
+Failure split, mirroring the local pool's attribution logic:
+
+* a **deterministic** failure (the simulation raised) is reported as a
+  ``task_error`` frame — rerunning it elsewhere would fail identically,
+  so the coordinator fails the task's waiters instead of requeueing;
+* the worker *process dying* (crash, kill, OOM) is detected by the
+  coordinator as a connection/heartbeat loss and the task is requeued on
+  a surviving worker — the worker does not get a vote.
+
+A dedicated heartbeat thread keeps frames flowing while a long
+simulation runs, which is what lets the coordinator use a plain receive
+timeout as its liveness probe.  Results optionally land in a
+worker-local :class:`~repro.exec.cache.ResultCache` too; digests are
+location-independent, so that cache can later be shipped home with
+``repro cache merge`` (:mod:`repro.exec.merge`).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import Optional
+
+from ..errors import ExecError
+from .cache import ResultCache
+from .pool import run_specs
+from .spec import ScenarioSpec
+from .supervisor import SupervisorPolicy
+from .wire import (
+    WIRE_SCHEMA,
+    ConnectionClosed,
+    WireError,
+    connect,
+    message,
+    recv_message,
+    send_message,
+)
+
+#: How long a freshly launched worker keeps retrying the coordinator
+#: address before giving up (covers "worker started first" races).
+DEFAULT_CONNECT_RETRY_SECONDS = 10.0
+
+
+class Worker:
+    """One service worker: a connection, a heartbeat, and the local engine.
+
+    ``run()`` blocks until the coordinator says ``shutdown`` or the
+    connection drops; ``start()``/``stop()`` wrap it in a thread for
+    in-process embedding (tests, ``repro workers --count N``).
+    """
+
+    def __init__(self, address: str, *,
+                 cache: Optional[ResultCache] = None,
+                 jobs: int = 1,
+                 slots: int = 1,
+                 supervisor: Optional[SupervisorPolicy] = None,
+                 connect_retry_seconds: float = DEFAULT_CONNECT_RETRY_SECONDS):
+        if jobs < 1:
+            raise ExecError("jobs must be >= 1")
+        if slots < 1:
+            raise ExecError("slots must be >= 1")
+        self.address = address
+        self.cache = cache
+        self.jobs = jobs
+        self.slots = slots
+        self.supervisor = supervisor
+        self.connect_retry_seconds = connect_retry_seconds
+        self.worker_id: Optional[str] = None
+        self.tasks_done = 0
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
+
+    # -- protocol ----------------------------------------------------------
+    def _send(self, msg) -> None:
+        with self._send_lock:
+            send_message(self._sock, msg)
+
+    def _register(self) -> float:
+        """Connect, say hello, read the welcome; returns the heartbeat
+        interval the coordinator wants."""
+        self._sock = connect(self.address,
+                             retry_seconds=self.connect_retry_seconds)
+        self._send(message("hello", schema=WIRE_SCHEMA, role="worker",
+                           host=socket.gethostname(), pid=os.getpid(),
+                           slots=self.slots))
+        welcome = recv_message(self._sock)
+        if welcome["t"] != "welcome":
+            raise WireError(f"expected welcome, got {welcome['t']!r}")
+        if welcome["schema"] != WIRE_SCHEMA:
+            raise WireError(
+                f"coordinator speaks {welcome['schema']!r}, "
+                f"this worker {WIRE_SCHEMA!r}")
+        self.worker_id = welcome["worker_id"]
+        return float(welcome.get("heartbeat_interval", 1.0))
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            try:
+                self._send(message("heartbeat"))
+            except (WireError, OSError):
+                return  # connection is gone; the main loop notices too
+
+    def _execute(self, task) -> None:
+        """Run one leased task through the local engine and report."""
+        spec = ScenarioSpec.from_wire(task["spec"])
+        digest = spec.config_digest()
+        try:
+            outcome = run_specs(
+                [spec],
+                jobs=self.jobs,
+                cache=self.cache,
+                repeat=int(task.get("repeat", 1)),
+                supervisor=self.supervisor,
+            )
+        except ExecError as err:
+            self._send(message(
+                "task_error", task_id=task["task_id"], digest=digest,
+                kind=getattr(err, "kind", None) or "error",
+                detail=str(err)))
+            return
+        o = outcome.outcomes[0]
+        self.tasks_done += 1
+        self._send(message(
+            "result", task_id=task["task_id"], digest=digest,
+            result=o.result.to_dict(), wall_seconds=o.wall_seconds,
+            attempts=max(1, o.attempts),
+            failure_counts=outcome.failure_counts or {}))
+
+    # -- lifecycle ---------------------------------------------------------
+    def run(self) -> None:
+        """Serve until ``shutdown`` / connection loss / :meth:`stop`."""
+        interval = self._register()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, args=(interval,),
+            name=f"worker-{self.worker_id}-heartbeat", daemon=True)
+        self._heartbeat_thread.start()
+        try:
+            while not self._stop.is_set():
+                try:
+                    msg = recv_message(self._sock)
+                except (ConnectionClosed, OSError):
+                    return  # coordinator gone (or stop() closed the socket)
+                t = msg["t"]
+                if t == "task":
+                    self._execute(msg)
+                elif t == "shutdown":
+                    return
+        finally:
+            self._stop.set()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def start(self) -> "Worker":
+        """Run in a daemon thread (in-process embedding)."""
+        self._thread = threading.Thread(
+            target=self.run, name="service-worker", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Disconnect and (when started via :meth:`start`) join."""
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(join_timeout)
+
+    def __enter__(self) -> "Worker":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def worker_main(address: str, cache_dir: Optional[str] = None,
+                jobs: int = 1, slots: int = 1,
+                connect_retry_seconds: float = DEFAULT_CONNECT_RETRY_SECONDS,
+                ) -> None:
+    """Process entry point for ``repro workers`` (spawn-friendly: module
+    level, only picklable arguments)."""
+    cache = ResultCache(root=cache_dir) if cache_dir else None
+    Worker(address, cache=cache, jobs=jobs, slots=slots,
+           connect_retry_seconds=connect_retry_seconds).run()

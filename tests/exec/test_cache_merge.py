@@ -1,0 +1,200 @@
+"""Cache merging: lossless union, conflict quarantine, idempotence.
+
+``merge_caches`` ships a worker-local cache into a shared one.  The
+properties under test: the merged destination is exactly the union of
+the sound entries, the source is never modified, damaged entries are
+quarantined read-side style, conflicting entries (same digest, different
+checksum — impossible for honest caches) keep the destination's version
+and quarantine the source bytes, and re-running any merge is a no-op.
+"""
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecError
+from repro.exec import ResultCache, ScenarioResult, spec_from_preset
+from repro.exec.cache import result_checksum
+from repro.exec.merge import merge_caches
+from repro.exec.pool import run_specs
+
+
+@pytest.fixture(scope="module")
+def pool(tmp_path_factory):
+    """Three sound cache entries (distinct digests) to deal from."""
+    root = tmp_path_factory.mktemp("entry-pool")
+    cache = ResultCache(root=root)
+    specs = [spec_from_preset("tiny", "jacobi", n, calibrated=False)
+             for n in (1, 2, 4)]
+    run_specs(specs, jobs=1, cache=cache)
+    names = sorted(p.name for p in root.glob("*.json"))
+    assert len(names) == 3
+    return root, specs, names
+
+
+def deal(dst: Path, pool_root: Path, names) -> Path:
+    dst.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        shutil.copyfile(pool_root / name, dst / name)
+    return dst
+
+
+def entry_names(root: Path):
+    return sorted(p.name for p in root.glob("*.json"))
+
+
+class TestUnion:
+    def test_fresh_merge_copies_everything(self, pool, tmp_path):
+        pool_root, _, names = pool
+        src = deal(tmp_path / "src", pool_root, names)
+        dst = tmp_path / "dst"
+        stats = merge_caches(src, dst)
+        assert stats.as_dict() == {"scanned": 3, "copied": 3, "identical": 0,
+                                   "conflicts": 0, "damaged": 0}
+        assert entry_names(dst) == names
+        for name in names:  # byte-for-byte, and the source untouched
+            assert (dst / name).read_bytes() == (pool_root / name).read_bytes()
+        assert entry_names(src) == names
+
+    def test_remerge_is_idempotent(self, pool, tmp_path):
+        pool_root, _, names = pool
+        src = deal(tmp_path / "src", pool_root, names)
+        dst = tmp_path / "dst"
+        merge_caches(src, dst)
+        again = merge_caches(src, dst)
+        assert again.copied == 0 and again.identical == 3
+
+    def test_merged_cache_serves_the_entries(self, pool, tmp_path):
+        pool_root, specs, names = pool
+        src = deal(tmp_path / "src", pool_root, names)
+        dst = tmp_path / "dst"
+        merge_caches(src, dst)
+        merged = ResultCache(root=dst)
+        for spec in specs:
+            assert merged.get(spec) is not None
+
+    @settings(max_examples=15, deadline=None)
+    @given(src_idx=st.sets(st.integers(0, 2)), dst_idx=st.sets(st.integers(0, 2)))
+    def test_merge_is_union_for_any_overlap(self, pool, src_idx, dst_idx):
+        pool_root, _, names = pool
+        with tempfile.TemporaryDirectory() as tmp:
+            src = deal(Path(tmp) / "src", pool_root,
+                       [names[i] for i in sorted(src_idx)])
+            dst = deal(Path(tmp) / "dst", pool_root,
+                       [names[i] for i in sorted(dst_idx)])
+            stats = merge_caches(src, dst)
+            assert entry_names(dst) == sorted(
+                names[i] for i in src_idx | dst_idx)
+            assert stats.copied == len(src_idx - dst_idx)
+            assert stats.identical == len(src_idx & dst_idx)
+            assert stats.conflicts == stats.damaged == 0
+            assert merge_caches(src, dst).copied == 0  # idempotent
+
+
+class TestConflicts:
+    def rewrite_result(self, path: Path) -> None:
+        """Forge a *valid* entry with a different result (and a correctly
+        recomputed checksum) — the impossible-for-honest-caches case."""
+        entry = json.loads(path.read_text())
+        result = ScenarioResult.from_dict(entry["result"]).to_dict()
+        result["runtime_seconds"] = result["runtime_seconds"] + 1.0
+        entry["result"] = result
+        entry["checksum"] = result_checksum(result)
+        path.write_text(json.dumps(entry, sort_keys=True,
+                                   separators=(",", ":")))
+
+    def test_conflict_keeps_destination_and_quarantines_source(
+            self, pool, tmp_path):
+        pool_root, _, names = pool
+        src = deal(tmp_path / "src", pool_root, names)
+        dst = deal(tmp_path / "dst", pool_root, names)
+        self.rewrite_result(dst / names[0])
+        forged = (dst / names[0]).read_bytes()
+        stats = merge_caches(src, dst)
+        assert stats.conflicts == 1 and stats.identical == 2
+        assert (dst / names[0]).read_bytes() == forged  # destination wins
+        quarantined = dst / "quarantine" / f"{names[0]}.conflict"
+        assert quarantined.read_bytes() == (src / names[0]).read_bytes()
+
+
+class TestDamage:
+    def test_damaged_source_entries_are_quarantined_not_merged(
+            self, pool, tmp_path):
+        pool_root, _, names = pool
+        src = deal(tmp_path / "src", pool_root, names)
+        dst = tmp_path / "dst"
+        # Three flavours of damage, matching the read-side suffixes:
+        (src / names[0]).write_text("not json {")           # unreadable
+        entry = json.loads((src / names[1]).read_text())
+        entry["result"]["runtime_seconds"] += 1.0           # stale checksum
+        (src / names[1]).write_text(json.dumps(entry))
+        shutil.move(src / names[2],
+                    src / ("0" * 64 + ".json"))             # digest mismatch
+        stats = merge_caches(src, dst)
+        assert stats.damaged == 3 and stats.copied == 0
+        qdir = dst / "quarantine"
+        assert (qdir / f"{names[0]}.unreadable").exists()
+        assert (qdir / f"{names[1]}.checksum").exists()
+        assert (qdir / ("0" * 64 + ".json.mismatch")).exists()
+
+    def test_sound_source_replaces_damaged_destination(self, pool, tmp_path):
+        pool_root, _, names = pool
+        src = deal(tmp_path / "src", pool_root, names[:1])
+        dst = deal(tmp_path / "dst", pool_root, names[:1])
+        (dst / names[0]).write_text("truncated{")
+        stats = merge_caches(src, dst)
+        assert stats.copied == 1 and stats.damaged == 0
+        assert ((dst / names[0]).read_bytes()
+                == (pool_root / names[0]).read_bytes())
+        assert (dst / "quarantine" / f"{names[0]}.unreadable").exists()
+
+
+class TestGuards:
+    def test_missing_source_rejected(self, tmp_path):
+        with pytest.raises(ExecError, match="not a directory"):
+            merge_caches(tmp_path / "nope", tmp_path / "dst")
+
+    def test_same_directory_rejected(self, tmp_path):
+        (tmp_path / "c").mkdir()
+        with pytest.raises(ExecError, match="same"):
+            merge_caches(tmp_path / "c", tmp_path / "c")
+
+    def test_empty_source_is_a_noop(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        stats = merge_caches(tmp_path / "empty", tmp_path / "dst")
+        assert stats.scanned == 0
+
+
+class TestMergeCLI:
+    def test_cache_merge_command(self, pool, tmp_path, capsys):
+        from repro.cli import main
+
+        pool_root, _, names = pool
+        src = deal(tmp_path / "src", pool_root, names)
+        dst = tmp_path / "dst"
+        assert main(["cache", "merge", str(src), str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "copied" in out
+        assert entry_names(dst) == names
+
+    def test_cache_merge_flags_damage_with_exit_1(self, pool, tmp_path,
+                                                  capsys):
+        from repro.cli import main
+
+        pool_root, _, names = pool
+        src = deal(tmp_path / "src", pool_root, names[:1])
+        (src / names[0]).write_text("not json {")
+        assert main(["cache", "merge", str(src), str(tmp_path / "dst")]) == 1
+        captured = capsys.readouterr()
+        assert "quarantine" in captured.out + captured.err
+
+    def test_cache_merge_missing_source_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["cache", "merge", str(tmp_path / "nope"),
+                   str(tmp_path / "dst")])
+        assert rc == 2

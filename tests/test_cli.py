@@ -213,3 +213,55 @@ class TestScale:
 
     def test_scale_rejects_bad_nodes(self, capsys):
         assert main(["scale", "--nodes", "eight"]) == 2
+
+
+class TestSharedEngineFlags:
+    """Every engine-driven command accepts the same execution flags
+    (the shared argparse parent behind --jobs/--cache-dir/--no-cache/
+    --refresh/--executor/--coordinator, docs/PROTOCOL.md §12)."""
+
+    COMMANDS = ["sweep", "table1", "perfbench", "recovery", "serve",
+                "submit", "workers"]
+
+    def test_engine_flags_parse_everywhere(self):
+        parser = build_parser()
+        for command in self.COMMANDS:
+            args = parser.parse_args(
+                [command, "--jobs", "3", "--no-cache", "--refresh",
+                 "--cache-dir", "/tmp/c", "--executor", "serial",
+                 "--coordinator", "host:7070"])
+            assert args.jobs == 3 and args.no_cache and args.refresh
+            assert args.executor == "serial"
+            assert args.coordinator == "host:7070"
+
+    def test_unknown_backend_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--executor", "telepathy"])
+
+    def test_jobs_defaults_are_preserved(self):
+        # argparse parents share action objects, so a per-subparser
+        # set_defaults(jobs=...) would leak into every other command.
+        # All commands therefore parse --jobs as None; the serial-by-
+        # default benches (table1/perfbench/recovery) resolve None -> 1
+        # inside their command functions instead.
+        parser = build_parser()
+        for command in ("sweep", "table1", "perfbench", "recovery"):
+            assert parser.parse_args([command]).jobs is None
+
+    def test_remote_without_coordinator_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["sweep", "--apps", "jacobi", "--nodes", "1",
+                   "--preset", "tiny", "--executor", "remote",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "coordinator" in capsys.readouterr().err
+
+    def test_sweep_through_serial_executor_backend(self, tmp_path, capsys):
+        rc = main(["sweep", "--apps", "jacobi", "--nodes", "1",
+                   "--preset", "tiny", "--uncalibrated",
+                   "--executor", "serial", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "jacobi" in capsys.readouterr().out
+
+    def test_cache_merge_requires_src_and_dst(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "merge"])
