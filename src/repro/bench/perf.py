@@ -230,6 +230,13 @@ def scenarios(quick: bool = False, paper: bool = False) -> List[PerfScenario]:
             PerfScenario("gauss-32-quick", ScenarioSpec(
                 kernel="gauss", params={"n": 192, "iterations": 95},
                 nprocs=32, calibrated=True, label="gauss-32-quick")),
+            # Wider still: 64 nodes double every fork/release wave's leg
+            # count, so the flight-batched transport (PerfParams.
+            # flight_batch) carries most of the wire traffic — the
+            # scenario the PR 10 gate measures the batching win on.
+            PerfScenario("gauss-64-quick", ScenarioSpec(
+                kernel="gauss", params={"n": 192, "iterations": 47},
+                nprocs=64, calibrated=True, label="gauss-64-quick")),
         ]
     else:
         # The BENCH workload presets with their stock (uncalibrated)
@@ -391,6 +398,73 @@ def run_obs_identity_check(quick: bool = True) -> Dict:
             mismatches.append(scenario.name)
     return {"scenarios": checked, "mismatches": mismatches,
             "identical": not mismatches}
+
+
+# ---------------------------------------------------------------------------
+# flight-identity check: flights on vs off must not change the model
+# ---------------------------------------------------------------------------
+def run_flight_identity_check(quick: bool = True) -> Dict:
+    """Run each scenario with flight batching on and off; compare outputs.
+
+    The flight fast path (``PerfParams.flight_batch``, PROTOCOL.md §13)
+    must leave every simulated output — modelled runtime, traffic,
+    event/message/page/diff counts — bitwise identical to the
+    per-message reference transport.  Any mismatch means a flight
+    changed the model, not just the host wall clock.
+    """
+    from ..exec.pool import execute_spec
+    from ..exec.result import ScenarioResult
+
+    def canonical(spec) -> str:
+        exp, _ = execute_spec(spec)
+        return ScenarioResult.from_experiment(
+            exp, events=exp.runtime.sim.events_executed
+        ).to_json()
+
+    checked = []
+    mismatches = []
+    for scenario in scenarios(quick=quick):
+        checked.append(scenario.name)
+        spec = scenario.spec
+        on = spec.replaced(perf={**dict(spec.perf), "flight_batch": True})
+        off = spec.replaced(perf={**dict(spec.perf), "flight_batch": False})
+        if canonical(on) != canonical(off):
+            mismatches.append(scenario.name)
+    return {"scenarios": checked, "mismatches": mismatches,
+            "identical": not mismatches}
+
+
+# ---------------------------------------------------------------------------
+# profiling: the floor-hunting view, without ad-hoc instrumentation
+# ---------------------------------------------------------------------------
+def profile_scenarios(
+    quick: bool = False, paper: bool = False, top: int = 25
+) -> str:
+    """cProfile each perfbench scenario; return the formatted top tables.
+
+    One profiled pass per scenario, sorted by cumulative time and
+    truncated to ``top`` rows — the view every "where did the wall clock
+    go" hunt starts from.  Profiled walls are 2-4x the real ones
+    (tracing overhead), so this never feeds the measurement path; it is
+    a separate diagnostic pass.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from ..exec.pool import execute_spec
+
+    out = io.StringIO()
+    for scenario in scenarios(quick=quick, paper=paper):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        execute_spec(scenario.spec)
+        profiler.disable()
+        out.write(f"\n== profile: {scenario.name} "
+                  f"(top {top} by cumulative time) ==\n")
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats("cumulative").print_stats(top)
+    return out.getvalue()
 
 
 # ---------------------------------------------------------------------------

@@ -304,6 +304,22 @@ class PerfParams:
     #: Fan-out of the combining tree (tree height is ⌈log_k N⌉).
     barrier_radix: int = 4
 
+    #: Transmit whole communication flights — fan-outs whose legs are all
+    #: issued back-to-back within one scheduler event (FORK/release/GC
+    #: waves, tree-relay hops, page-map and owner-update shipments) —
+    #: through one batched pass over the link-occupancy model instead of
+    #: one ``Nic.send``/``Switch.transmit`` frame stack per message.  The
+    #: batched pass replays each leg's joint cut-through reservation in
+    #: leg order with the reference arithmetic (same float association),
+    #: so per-link ``busy_time``/``bytes_carried``/``messages_carried``,
+    #: traffic stats, arrival timestamps and delivery event order are
+    #: bitwise identical to the event-by-event path; only the host-side
+    #: per-message overhead is skipped.  Flights fall back to the
+    #: per-message reference whenever loss, fault injection, or tracing
+    #: is active.  The off position is the identity reference
+    #: (``tests/exec/test_flight_identity.py``).  See docs/PROTOCOL.md §13.
+    flight_batch: bool = True
+
     #: Network topology: ``"star"`` is the paper's single switched
     #: full-duplex Ethernet segment (the bitwise-identity reference);
     #: ``"fattree"`` hangs ``topology_radix``-node leaf switches off a

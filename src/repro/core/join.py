@@ -95,17 +95,20 @@ def ship_page_maps(runtime, joiners) -> None:
     targets = sorted(j.pid for j in joiners)
     pids = runtime.team.pids
     obs = runtime.sim.obs
+    legs = []
     for cpid in tree_children(pids, 0, tb.radix):
         sub = set(subtree_pids(pids, pids.index(cpid), tb.radix))
         hit = [t for t in targets if t in sub]
         if not hit:
             continue
-        master.send(
+        legs.append((
             mk.PAGE_MAP,
             cpid,
             {"owners": owners, "targets": hit},
-            size=size,
-        )
-        if obs.enabled:
+            size,
+        ))
+    master.send_fanout(legs)
+    if obs.enabled:
+        for _ in legs:
             obs.count("adapt.page_map_messages")
             obs.count("adapt.page_map_bytes", size)

@@ -496,13 +496,15 @@ class AdaptiveRuntime(TmkRuntime):
 
         # retire leavers: their wait loop cleans up on the STOP (it must
         # still be routed by the leaver's server, so no teardown here)
-        for req in slave_leaves:
-            self.master.send(
+        self.master.send_fanout([
+            (
                 mk.STOP,
                 req.pid,
                 {"retire": True, "withdraw": not req.was_urgent},
-                size=4,
+                4,
             )
+            for req in slave_leaves
+        ])
 
         new_mapping: Dict[int, int] = {
             new_pid: old_mapping[old_pid] for old_pid, new_pid in remap.items()

@@ -102,6 +102,9 @@ class BarrierManager:
         )
         self.force_gc = False
 
+        # One release wave: every leg is issued back-to-back in this event,
+        # so the whole fan-out flies as one batched flight (PROTOCOL.md §13).
+        legs = []
         for pid in sorted(arrivals):
             if pid == master.pid:
                 continue
@@ -109,7 +112,7 @@ class BarrierManager:
             size = (
                 master.notice_wire_bytes(len(notices)) + master.vc_wire_bytes + 8
             )
-            master.send(
+            legs.append((
                 mk.BARRIER_RELEASE,
                 pid,
                 {
@@ -118,16 +121,19 @@ class BarrierManager:
                     "vc": master.vc.snapshot(),
                     "gc": do_gc,
                 },
-                size=size,
-            )
+                size,
+            ))
+        master.send_fanout(legs)
 
         if do_gc:
             yield from master.gc_flush()
             for _ in range(len(arrivals) - 1):
                 yield master.gc_done_store.get()
-            for pid in sorted(arrivals):
-                if pid != master.pid:
-                    master.send(mk.GC_GO, pid, {}, size=4)
+            master.send_fanout([
+                (mk.GC_GO, pid, {}, 4)
+                for pid in sorted(arrivals)
+                if pid != master.pid
+            ])
             master.gc_reset()
 
         local_done.fire()

@@ -106,6 +106,7 @@ class DsmProcess:
         self._plan_cache_enabled = cfg.perf.plan_cache
         self._bulk_fetch = cfg.perf.bulk_fetch
         self._diff_squash = cfg.perf.diff_squash
+        self._flight_on = cfg.perf.flight_batch
         # Incremental interval-log pruning (PerfParams.interval_prune):
         # drop records every peer's applied clock covers, every
         # ``interval_prune_period`` closes.  Host-side memory bounding
@@ -221,6 +222,54 @@ class DsmProcess:
                 raise
             self.crash_hook(msg.dst, err)
         return msg
+
+    def send_fanout(
+        self, legs: List[Tuple[str, int, Any, int]]
+    ) -> List[Message]:
+        """Transmit ``(kind, dst_pid, payload, size)`` legs as one flight.
+
+        Only valid for sends issued back-to-back with no yield between
+        them (a fan-out wave); then batching the transport is bitwise
+        identical to ``[self.send(*leg) for leg in legs]`` — see
+        docs/PROTOCOL.md §13.  With ``PerfParams.flight_batch`` off (or a
+        wire that cannot take the fast path) the legs go through
+        :meth:`send` one at a time, which is the identity reference.
+        """
+        nic = self.node.nic
+        if self._flight_on and len(legs) >= 2 and nic.attached:
+            switch = nic.switch
+            if (
+                switch._faults is None
+                and switch.loss is None
+                and not self.sim.tracer.enabled
+            ):
+                node_of = self.team.node_of
+                src = self.node.node_id
+                pid = self.pid
+                msgs = [
+                    Message(
+                        kind=kind,
+                        src=src,
+                        dst=node_of(dst_pid),
+                        size_bytes=size,
+                        payload=payload,
+                        src_pid=pid,
+                        dst_pid=dst_pid,
+                    )
+                    for kind, dst_pid, payload, size in legs
+                ]
+                crash_hook = self.crash_hook
+                on_error = (
+                    None
+                    if crash_hook is None
+                    else lambda m, e: crash_hook(m.dst, e)
+                )
+                nic.send_flight(msgs, on_error)
+                return msgs
+        return [
+            self.send(kind, dst_pid, payload, size)
+            for kind, dst_pid, payload, size in legs
+        ]
 
     def request(self, kind: str, dst_pid: int, payload: Any, size: int):
         """Waitable request/reply to another process's server."""
@@ -388,26 +437,55 @@ class DsmProcess:
                     * self.cfg.dsm.page_descriptor_bytes
                 )
                 obs = self.sim.obs
+                legs = []
                 for cpid in tree_children(pids, pos, radix):
                     sub = set(subtree_pids(pids, pids.index(cpid), radix))
                     hit = [t for t in targets if t in sub]
                     if not hit:
                         continue
-                    self.send(
+                    legs.append((
                         mk.PAGE_MAP,
                         cpid,
                         {"owners": payload["owners"], "targets": hit},
-                        size=size,
-                    )
-                    if obs.enabled:
+                        size,
+                    ))
+                self.send_fanout(legs)
+                if obs.enabled:
+                    for _ in legs:
                         obs.count("adapt.page_map_messages")
                         obs.count("adapt.page_map_bytes", size)
         elif msg.kind == mk.OWNER_UPDATE:
             # The master took over a leaver's pages (§4.2).
-            for page in msg.payload["pages"]:
+            payload = msg.payload
+            for page in payload["pages"]:
                 self.owners[page] = TeamView.MASTER_PID
                 if page in self.table:
                     self.table.entry(page).owner = TeamView.MASTER_PID
+            targets = payload.get("targets") if isinstance(payload, dict) else None
+            if targets:
+                # Tree-relayed drain broadcast (PROTOCOL.md §13): forward
+                # one copy to each of our children in the heap layout over
+                # ``[master] + targets``.  The layout comes from the
+                # payload, so it never includes (or routes through) the
+                # leaver; every relay node is itself a target and has
+                # already installed the update above.
+                from .treebarrier import tree_children
+
+                relay = [TeamView.MASTER_PID] + list(targets)
+                pos = relay.index(self.pid)
+                size = len(payload["pages"]) * self.cfg.dsm.page_descriptor_bytes
+                # The drain's rebuild may renumber the team while a hop is
+                # in flight; pids that no longer exist are dropped here —
+                # the same best-effort contract flat mode gets from the
+                # server loop's dst_pid mismatch check.  (A reused pid
+                # still receives the update, which is harmless: "the
+                # master owns these pages" is globally true post-drain.)
+                alive = set(self.team.pids)
+                self.send_fanout([
+                    (mk.OWNER_UPDATE, cpid, payload, max(size, 8))
+                    for cpid in tree_children(relay, pos, self.cfg.perf.barrier_radix)
+                    if cpid in alive
+                ])
         else:
             raise ProtocolError(f"{self.name}: unexpected request {msg!r}")
 

@@ -348,8 +348,9 @@ class TmkRuntime:
         yield from program.driver(api)
         self.master.close_interval()
         yield from self.at_adaptation_point()
-        for pid in self.team.slave_pids:
-            self.master.send(mk.STOP, pid, {}, size=4)
+        self.master.send_fanout(
+            [(mk.STOP, pid, {}, 4) for pid in self.team.slave_pids]
+        )
         self.finished = True
         self.finish_time = self.sim.now
 
@@ -391,6 +392,7 @@ class TmkRuntime:
                 pids = self.team.pids
                 pos = pids.index(proc.pid)
                 children = tree_children(pids, pos, tb.radix)
+                legs = []
                 for cpid in children:
                     fork_notices = proc.notices_unknown_to(tb.child_vc(cpid))
                     size = (
@@ -399,7 +401,7 @@ class TmkRuntime:
                         + 8 * payload["nprocs"]
                         + 16
                     )
-                    proc.send(
+                    legs.append((
                         mk.FORK,
                         cpid,
                         {
@@ -410,8 +412,9 @@ class TmkRuntime:
                             "vc": proc.vc.snapshot(),
                             "nprocs": payload["nprocs"],
                         },
-                        size=size,
-                    )
+                        size,
+                    ))
+                proc.send_fanout(legs)
             region = self.program.phase(payload["phase"])
             yield from region(ctx, proc.pid, payload["nprocs"], payload["args"])
             notices = proc.sync_notices()
@@ -500,6 +503,7 @@ class TmkRuntime:
             # payload carries what its subtree's knowledge floor is
             # missing — a superset of each member's need; receivers dedupe.
             tree_kids = tree_children(self.team.pids, 0, tb.radix)
+            legs = []
             for cpid in tree_kids:
                 notices = master.notices_unknown_to(tb.child_vc(cpid))
                 size = (
@@ -508,7 +512,7 @@ class TmkRuntime:
                     + 8 * self.team.nprocs
                     + 16
                 )
-                master.send(
+                legs.append((
                     mk.FORK,
                     cpid,
                     {
@@ -519,9 +523,11 @@ class TmkRuntime:
                         "vc": master.vc.snapshot(),
                         "nprocs": self.team.nprocs,
                     },
-                    size=size,
-                )
+                    size,
+                ))
+            master.send_fanout(legs)
         else:
+            legs = []
             for pid in self.team.slave_pids:
                 notices = master.notices_unknown_to(self.slave_vcs[pid])
                 size = (
@@ -530,7 +536,7 @@ class TmkRuntime:
                     + 8 * self.team.nprocs
                     + 16
                 )
-                master.send(
+                legs.append((
                     mk.FORK,
                     pid,
                     {
@@ -541,8 +547,9 @@ class TmkRuntime:
                         "vc": master.vc.snapshot(),
                         "nprocs": self.team.nprocs,
                     },
-                    size=size,
-                )
+                    size,
+                ))
+            master.send_fanout(legs)
         region = self.program.phase(phase_name)
         yield from region(self.master_ctx, master.pid, self.team.nprocs, args)
         master.close_interval()
@@ -602,6 +609,7 @@ class TmkRuntime:
             # (flush, reset) aggregate one hop at a time, so the master
             # link carries radix control messages instead of N.
             gc_kids = tree_children(self.team.pids, 0, tb.radix)
+            legs = []
             for cpid in gc_kids:
                 notices = master.notices_unknown_to(tb.child_vc(cpid))
                 size = (
@@ -609,37 +617,40 @@ class TmkRuntime:
                     + master.vc_wire_bytes
                     + 8
                 )
-                master.send(
+                legs.append((
                     mk.GC_REQ,
                     cpid,
                     {"notices": notices, "vc": master.vc.snapshot()},
-                    size=size,
-                )
+                    size,
+                ))
+            master.send_fanout(legs)
             yield from master.gc_flush()
             for _ in gc_kids:
                 yield master.gc_done_store.get()
-            for cpid in gc_kids:
-                master.send(mk.GC_GO, cpid, {}, size=4)
+            master.send_fanout([(mk.GC_GO, cpid, {}, 4) for cpid in gc_kids])
             master.gc_reset()
             # every subtree confirms its reset before the caller may touch
             # team-wide state (adaptation rebuilds the pid space next)
             for _ in gc_kids:
                 yield master.gc_done_store.get()
         else:
+            legs = []
             for pid in self.team.slave_pids:
                 notices = master.notices_unknown_to(self.slave_vcs[pid])
                 size = master.notice_wire_bytes(len(notices)) + master.vc_wire_bytes + 8
-                master.send(
+                legs.append((
                     mk.GC_REQ,
                     pid,
                     {"notices": notices, "vc": master.vc.snapshot()},
-                    size=size,
-                )
+                    size,
+                ))
+            master.send_fanout(legs)
             yield from master.gc_flush()
             for _ in self.team.slave_pids:
                 yield master.gc_done_store.get()
-            for pid in self.team.slave_pids:
-                master.send(mk.GC_GO, pid, {}, size=4)
+            master.send_fanout(
+                [(mk.GC_GO, pid, {}, 4) for pid in self.team.slave_pids]
+            )
             master.gc_reset()
             # wait for every slave to confirm its reset before the caller may
             # touch team-wide state (adaptation rebuilds the pid space next)

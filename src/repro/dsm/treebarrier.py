@@ -209,10 +209,13 @@ class TreeBarrier:
             do_gc = payload["gc"]
 
         # -- down-sweep: release our children with what each is missing.
+        # The legs are issued back-to-back, so the wave flies as one
+        # batched flight (PROTOCOL.md §13).
+        legs = []
         for cpid in sorted(arrivals):
             notices = proc.notices_unknown_to(arrivals[cpid]["vc"])
             size = proc.notice_wire_bytes(len(notices)) + proc.vc_wire_bytes + 8
-            proc.send(
+            legs.append((
                 mk.BARRIER_TREE_RELEASE,
                 cpid,
                 {
@@ -221,8 +224,9 @@ class TreeBarrier:
                     "vc": proc.vc.snapshot(),
                     "gc": do_gc,
                 },
-                size=size,
-            )
+                size,
+            ))
+        proc.send_fanout(legs)
 
         if do_gc:
             yield from self._gc_round(pids, pos, children)
@@ -247,8 +251,7 @@ class TreeBarrier:
                 mk.GC_DONE, parent, {"pid": proc.pid, "phase": "flush"}, size=8
             )
             yield proc.main_inbox.recv(match=lambda m: m.kind == mk.GC_GO)
-        for cpid in children:
-            proc.send(mk.GC_GO, cpid, {}, size=4)
+        proc.send_fanout([(mk.GC_GO, cpid, {}, 4) for cpid in children])
         proc.gc_reset()
 
     # ------------------------------------------------------------------
@@ -265,15 +268,17 @@ class TreeBarrier:
         pids = proc.team.pids
         pos = pids.index(proc.pid)
         children = tree_children(pids, pos, self.radix)
+        legs = []
         for cpid in children:
             notices = proc.notices_unknown_to(self.child_vc(cpid))
             size = proc.notice_wire_bytes(len(notices)) + proc.vc_wire_bytes + 8
-            proc.send(
+            legs.append((
                 mk.GC_REQ,
                 cpid,
                 {"notices": notices, "vc": proc.vc.snapshot()},
-                size=size,
-            )
+                size,
+            ))
+        proc.send_fanout(legs)
         parent = tree_parent(pids, pos, self.radix)
         yield from proc.gc_flush()
         for _ in children:
@@ -282,8 +287,7 @@ class TreeBarrier:
             mk.GC_DONE, parent, {"pid": proc.pid, "phase": "flush"}, size=8
         )
         yield proc.main_inbox.recv(match=lambda m: m.kind == mk.GC_GO)
-        for cpid in children:
-            proc.send(mk.GC_GO, cpid, {}, size=4)
+        proc.send_fanout([(mk.GC_GO, cpid, {}, 4) for cpid in children])
         proc.gc_reset()
         for _ in children:
             yield proc.gc_done_store.get()

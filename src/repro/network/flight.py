@@ -1,0 +1,282 @@
+"""Flight-batched transport (PROTOCOL.md §13).
+
+A *flight* is a set of messages whose sends are all issued back-to-back
+within one scheduler event — a FORK fan-out, a barrier release wave, a
+GC request round, a tree-relay hop.  Because no other event can run
+between the sends, the per-leg walk through ``Nic.send`` →
+``Switch.transmit`` → joint link reservation is a pure function of the
+leg order: the i-th leg sees exactly the link state the first i-1 legs
+left behind.  These helpers replay that walk for the whole flight in one
+call, with every per-message invariant hoisted out of the loop — one
+params/stats/queue lookup per *flight* instead of per *message* — and
+the arithmetic kept in reference order so the result is bitwise
+identical to sending the legs one at a time:
+
+* per-link reservations use the same ``start = max(now, busy_until…)``
+  / ``end = start + wire_bytes * per_byte`` float chain, replayed
+  sequentially per leg (a vectorized prefix scan would re-associate the
+  additions and drift in the last ulp — see the PROTOCOL.md §13 note);
+* traffic counters receive the same increments in the same key order,
+  so Counter iteration order matches the reference;
+* deliveries are pushed at the same ``(time, priority)`` the reference
+  path's ``sim.at``/``sim.schedule`` wrappers would push, in the same
+  sequence, so event order and ``events_executed`` are unchanged.
+
+The fast path only engages on the lossless, fault-free, untraced wire —
+loss sampling, fault injection and tracing are inherently per-message,
+so :meth:`~repro.network.switch.Switch.transmit_flight` falls back to
+the per-message reference loop whenever any of them is active.
+
+Error semantics mirror the per-message loop exactly: a leg whose
+destination is unknown or detached raises :class:`NetworkError` at the
+same sequence point the reference would; with an ``on_error`` callback
+the error is reported and the remaining legs still fly (the
+``DsmProcess.send`` crash-hook contract).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from ..errors import NetworkError
+from .message import Message
+from .stats import _PAGE_KINDS
+from . import message as mk
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .nic import Nic
+    from .switch import Switch
+
+
+def transmit_flight_star(
+    switch: "Switch",
+    msgs: Iterable[Message],
+    on_error: Optional[Callable[[Message, NetworkError], None]] = None,
+    src_nic: Optional["Nic"] = None,
+) -> None:
+    """Batched :meth:`Switch.transmit` over a star topology.
+
+    Leg-for-leg identical to ``for m in msgs: switch.transmit(m)`` on a
+    lossless, fault-free, untraced switch (the caller guarantees those
+    preconditions; :meth:`Switch.transmit_flight` checks them).
+    """
+    sim = switch.sim
+    now = sim.now
+    nics = switch.nics
+    uplinks = switch.uplinks
+    downlinks = switch.downlinks
+    params = switch.params
+    header = params.header_bytes
+    per_byte = params.per_byte
+    latency = params.one_way_latency
+    push = sim._queue.push
+    snap = switch.stats._snap
+    by_kind_messages = snap.by_kind_messages
+    by_kind_bytes = snap.by_kind_bytes
+    per_link_bytes = snap.per_link_bytes
+    n_wire = 0
+    wire_total = 0
+    pages = 0
+    diffs = 0
+
+    # The aggregate totals are flushed in the ``finally`` so a leg that
+    # raises (no ``on_error``) still leaves the same counters behind as
+    # the reference loop, which updates them before it throws.
+    try:
+        for msg in msgs:
+            if src_nic is not None and not src_nic.attached:
+                err = NetworkError(f"node {src_nic.node_id} NIC is detached")
+                if on_error is None:
+                    raise err
+                on_error(msg, err)
+                continue
+            dst = msg.dst
+            dst_nic = nics.get(dst)
+            if dst_nic is None:
+                err = NetworkError(f"message to unknown node {dst}: {msg!r}")
+                if on_error is None:
+                    raise err
+                on_error(msg, err)
+                continue
+            if not dst_nic.attached:
+                err = NetworkError(f"message to detached node {dst}: {msg!r}")
+                if on_error is None:
+                    raise err
+                on_error(msg, err)
+                continue
+
+            if msg.src == dst:
+                # Local delivery never touches the wire (and costs no wire
+                # time); ``sim.schedule(0.0, …)`` pushes at ``now + 0.0``.
+                msg.arrived_at = now
+                push(now + 0.0, (dst_nic.deliver, msg))
+                continue
+
+            size_bytes = msg.size_bytes
+            wire_bytes = size_bytes + header
+            up = uplinks[msg.src]
+            down = downlinks[dst]
+            busy = up.busy_until
+            start = now if now >= busy else busy
+            busy = down.busy_until
+            if busy > start:
+                start = busy
+            end = start + wire_bytes * per_byte
+            busy = end - start
+            up.busy_until = end
+            up.busy_time += busy
+            up.bytes_carried += wire_bytes
+            up.messages_carried += 1
+            down.busy_until = end
+            down.busy_time += busy
+            down.bytes_carried += wire_bytes
+            down.messages_carried += 1
+
+            arrival = start + latency + size_bytes * per_byte
+            msg.arrived_at = arrival
+
+            kind = msg.kind
+            n_wire += 1
+            wire_total += wire_bytes
+            by_kind_messages[kind] += 1
+            by_kind_bytes[kind] += wire_bytes
+            per_link_bytes[up.name] += wire_bytes
+            per_link_bytes[down.name] += wire_bytes
+            if kind in _PAGE_KINDS:
+                pages += 1
+            elif kind == mk.PAGE_BATCH_REPLY:
+                pages += int(msg.payload.get("n_pages", 1)) if isinstance(msg.payload, dict) else 1
+            elif kind == mk.DIFF_REPLY:
+                diffs += int(msg.payload.get("n_diffs", 1)) if isinstance(msg.payload, dict) else 1
+
+            push(arrival, (dst_nic.deliver, msg))
+    finally:
+        if n_wire:
+            snap.messages += n_wire
+            snap.bytes += wire_total
+            if pages:
+                snap.pages += pages
+            if diffs:
+                snap.diffs += diffs
+
+
+def transmit_flight_fattree(
+    switch,
+    msgs: Iterable[Message],
+    on_error: Optional[Callable[[Message, NetworkError], None]] = None,
+    src_nic: Optional["Nic"] = None,
+) -> None:
+    """Batched :meth:`FatTreeSwitch.transmit` (2- or 4-link joint slots)."""
+    sim = switch.sim
+    now = sim.now
+    nics = switch.nics
+    uplinks = switch.uplinks
+    downlinks = switch.downlinks
+    trunk_up = switch.trunk_up
+    trunk_down = switch.trunk_down
+    radix = switch.radix
+    extra_hop_latency = switch.EXTRA_HOPS * switch.params.switch_hop_latency
+    params = switch.params
+    header = params.header_bytes
+    per_byte = params.per_byte
+    latency = params.one_way_latency
+    push = sim._queue.push
+    snap = switch.stats._snap
+    by_kind_messages = snap.by_kind_messages
+    by_kind_bytes = snap.by_kind_bytes
+    per_link_bytes = snap.per_link_bytes
+    n_wire = 0
+    wire_total = 0
+    pages = 0
+    diffs = 0
+
+    # ``finally``-flushed totals: see transmit_flight_star.
+    try:
+        for msg in msgs:
+            if src_nic is not None and not src_nic.attached:
+                err = NetworkError(f"node {src_nic.node_id} NIC is detached")
+                if on_error is None:
+                    raise err
+                on_error(msg, err)
+                continue
+            dst = msg.dst
+            dst_nic = nics.get(dst)
+            if dst_nic is None:
+                err = NetworkError(f"message to unknown node {dst}: {msg!r}")
+                if on_error is None:
+                    raise err
+                on_error(msg, err)
+                continue
+            if not dst_nic.attached:
+                err = NetworkError(f"message to detached node {dst}: {msg!r}")
+                if on_error is None:
+                    raise err
+                on_error(msg, err)
+                continue
+
+            src = msg.src
+            if src == dst:
+                msg.arrived_at = now
+                push(now + 0.0, (dst_nic.deliver, msg))
+                continue
+
+            size_bytes = msg.size_bytes
+            wire_bytes = size_bytes + header
+            src_leaf = src // radix
+            dst_leaf = dst // radix
+            up = uplinks[src]
+            down = downlinks[dst]
+            if src_leaf != dst_leaf:
+                t_up = trunk_up[src_leaf]
+                t_down = trunk_down[dst_leaf]
+                hops = (up, t_up, t_down, down)
+                extra_latency = extra_hop_latency
+            else:
+                t_up = None
+                hops = (up, down)
+                extra_latency = 0.0
+            start = now
+            for link in hops:
+                if link.busy_until > start:
+                    start = link.busy_until
+            end = start + wire_bytes * per_byte
+            busy = end - start
+            for link in hops:
+                link.busy_until = end
+                link.busy_time += busy
+                link.bytes_carried += wire_bytes
+                link.messages_carried += 1
+
+            # Reference expression: start + one_way_latency + extra_switches *
+            # switch_hop_latency + payload * per_byte, left-to-right; the
+            # intra-leaf case adds a literal 0.0 there, which is bitwise
+            # neutral for the non-negative times involved.
+            arrival = start + latency + extra_latency + size_bytes * per_byte
+            msg.arrived_at = arrival
+
+            kind = msg.kind
+            n_wire += 1
+            wire_total += wire_bytes
+            by_kind_messages[kind] += 1
+            by_kind_bytes[kind] += wire_bytes
+            per_link_bytes[up.name] += wire_bytes
+            per_link_bytes[down.name] += wire_bytes
+            if t_up is not None:
+                per_link_bytes[t_up.name] += wire_bytes
+                per_link_bytes[t_down.name] += wire_bytes
+            if kind in _PAGE_KINDS:
+                pages += 1
+            elif kind == mk.PAGE_BATCH_REPLY:
+                pages += int(msg.payload.get("n_pages", 1)) if isinstance(msg.payload, dict) else 1
+            elif kind == mk.DIFF_REPLY:
+                diffs += int(msg.payload.get("n_diffs", 1)) if isinstance(msg.payload, dict) else 1
+
+            push(arrival, (dst_nic.deliver, msg))
+    finally:
+        if n_wire:
+            snap.messages += n_wire
+            snap.bytes += wire_total
+            if pages:
+                snap.pages += pages
+            if diffs:
+                snap.diffs += diffs

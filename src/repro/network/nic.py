@@ -34,6 +34,9 @@ class Nic:
         self._pending_reqs: set = set()
         #: Request re-sends performed by this NIC's retransmit timers.
         self.retransmissions = 0
+        #: Cached :meth:`_unreliable_wire` answer (None = not derivable
+        #: yet).  The switch's ``faults`` setter resets it on install.
+        self._wire_unreliable = None
 
     # -- sending ----------------------------------------------------------
     def send(self, msg: Message) -> float:
@@ -65,18 +68,47 @@ class Nic:
         self.send(msg)
         return self.replies.recv(match=lambda m, rid=rid: m.req_id == rid)
 
+    def send_flight(self, msgs, on_error=None) -> None:
+        """Transmit messages issued back-to-back in one event as a flight.
+
+        Identical to sending each message through :meth:`send` in order
+        (see :meth:`Switch.transmit_flight <repro.network.switch.Switch.transmit_flight>`);
+        the per-leg attachment check moves into the flight loop so error
+        reporting keeps the per-message sequence points.
+        """
+        self.switch.transmit_flight(msgs, on_error, src_nic=self)
+
     def _unreliable_wire(self) -> bool:
         """True when messages may be lost or duplicated in transit.
 
         Requests then go through :class:`ReliableRequest` and the
-        outstanding-request table filters duplicate replies.
+        outstanding-request table filters duplicate replies.  The answer
+        is evaluated on every request *and* every reply delivery — the
+        hottest path in the simulator — so static configurations are
+        cached: a lossy wire stays lossy (the loss model is fixed at
+        switch construction), a healthy wire with no fault state stays
+        healthy until the switch's ``faults`` setter invalidates the
+        cache, and a fault state that turned unreliable is latched
+        (``LinkFaults.unreliable`` never clears).  Only the transient
+        "fault state installed but still reliable" case re-derives the
+        answer each call, since injection may flip it at any time.
         """
+        cached = self._wire_unreliable
+        if cached is not None:
+            return cached
         switch = self.switch
         loss = switch.loss
         if loss is not None and loss.rate > 0:
+            self._wire_unreliable = True
             return True
         faults = switch.faults
-        return faults is not None and faults.unreliable
+        if faults is None:
+            self._wire_unreliable = False
+            return False
+        if faults.unreliable:
+            self._wire_unreliable = True
+            return True
+        return False
 
     def count_retransmission(self) -> None:
         """Account one request re-send (local and switch-wide counters)."""

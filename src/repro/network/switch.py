@@ -46,8 +46,29 @@ class Switch:
                 rate=self.params.loss_rate, seed=self.params.loss_seed
             )
         #: Optional fault-injection state (:class:`~repro.faults.LinkFaults`);
-        #: installed by a :class:`~repro.faults.FaultInjector`.
-        self.faults = None
+        #: installed by a :class:`~repro.faults.FaultInjector` (through the
+        #: :attr:`faults` property, which drops the NICs' cached wire
+        #: reliability).
+        self._faults = None
+        #: Flights the batched transport compiled / legs they carried —
+        #: host-side instrumentation only (never part of simulated state),
+        #: so tests can assert the fast path engaged.
+        self.flights_compiled = 0
+        self.flight_legs = 0
+
+    @property
+    def faults(self):
+        """Fault-injection state (``None`` = healthy wire)."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, value) -> None:
+        self._faults = value
+        # Installing (or clearing) fault state changes whether requests
+        # must go through the reliable-delivery layer; every NIC re-derives
+        # its cached answer lazily (see Nic._unreliable_wire).
+        for nic in self.nics.values():
+            nic._wire_unreliable = None
 
     # -- topology -----------------------------------------------------------
     def attach(self, node_id: int) -> Nic:
@@ -114,12 +135,13 @@ class Switch:
         # adds wire time here, while occupancy and traffic accounting above
         # include the header bytes.
         arrival = start + params.one_way_latency + size_bytes * params.per_byte
-        if self.faults is not None:
+        faults = self._faults
+        if faults is not None:
             # Degraded ports add fixed latency on either endpoint's path.
-            arrival += self.faults.extra_latency(msg.src, msg.dst)
+            arrival += faults.extra_latency(msg.src, msg.dst)
         msg.arrived_at = arrival
         self.stats.record(msg, uplink=up.name, downlink=down.name)
-        if self.faults is not None and self.faults.blocked(msg.src, msg.dst):
+        if faults is not None and faults.blocked(msg.src, msg.dst):
             # the packet burned wire time but dies at the partition
             self.stats.count_cut()
             self.sim.tracer.emit("net", "cut", f"{msg.kind} {msg.src}->{msg.dst}")
@@ -129,8 +151,8 @@ class Switch:
             self.stats.count_drop()
             self.sim.tracer.emit("net", "dropped", f"{msg.kind} {msg.src}->{msg.dst}")
             return arrival
-        if self.faults is not None:
-            delay = self.faults.delay_for(msg)
+        if faults is not None:
+            delay = faults.delay_for(msg)
             if delay > 0.0:
                 self.stats.count_delay()
                 self.sim.tracer.emit(
@@ -138,7 +160,7 @@ class Switch:
                 )
                 arrival += delay
                 msg.arrived_at = arrival
-            if self.faults.duplicate(msg):
+            if faults.duplicate(msg):
                 # a second copy trails the original by one latency
                 self.stats.count_duplicate()
                 self.sim.tracer.emit(
@@ -153,6 +175,48 @@ class Switch:
         if tracer.enabled:
             tracer.emit("net", msg.kind, f"{msg.src}->{msg.dst} {wire_bytes}B")
         return arrival
+
+    def transmit_flight(self, msgs, on_error=None, src_nic=None) -> None:
+        """Deliver a whole flight of messages issued within one event.
+
+        Semantically identical to ``for m in msgs: self.transmit(m)`` —
+        same link reservations, traffic counters, arrival times and
+        delivery event order — but compiled as one batched pass over the
+        occupancy model (see :mod:`repro.network.flight`).  Loss, fault
+        injection and tracing are per-message concerns, so any of them
+        active routes the flight through the per-message reference loop.
+
+        ``on_error`` is called as ``on_error(msg, err)`` for a leg whose
+        destination is unknown or detached (the remaining legs still
+        fly); without it the error propagates from that leg, exactly as
+        the per-message loop would.  ``src_nic``, when given, is checked
+        per leg like :meth:`Nic.send` checks its attachment.
+        """
+        if (
+            self._faults is not None
+            or self.loss is not None
+            or self.sim.tracer.enabled
+        ):
+            for msg in msgs:
+                try:
+                    if src_nic is not None and not src_nic.attached:
+                        raise NetworkError(
+                            f"node {src_nic.node_id} NIC is detached"
+                        )
+                    self.transmit(msg)
+                except NetworkError as err:
+                    if on_error is None:
+                        raise
+                    on_error(msg, err)
+            return
+        self._transmit_flight_fast(msgs, on_error, src_nic)
+        self.flights_compiled += 1
+        self.flight_legs += len(msgs)
+
+    def _transmit_flight_fast(self, msgs, on_error, src_nic) -> None:
+        from .flight import transmit_flight_star
+
+        transmit_flight_star(self, msgs, on_error, src_nic)
 
     # -- convenience ----------------------------------------------------------
     def message_time(self, payload_bytes: int) -> float:

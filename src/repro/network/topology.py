@@ -118,8 +118,9 @@ class FatTreeSwitch(Switch):
             + extra_switches * params.switch_hop_latency
             + size_bytes * params.per_byte
         )
-        if self.faults is not None:
-            arrival += self.faults.extra_latency(msg.src, msg.dst)
+        faults = self._faults
+        if faults is not None:
+            arrival += faults.extra_latency(msg.src, msg.dst)
         msg.arrived_at = arrival
         via = ()
         if extra_switches:
@@ -127,7 +128,7 @@ class FatTreeSwitch(Switch):
         self.stats.record(
             msg, uplink=hops[0].name, downlink=hops[-1].name, via=via
         )
-        if self.faults is not None and self.faults.blocked(msg.src, msg.dst):
+        if faults is not None and faults.blocked(msg.src, msg.dst):
             self.stats.count_cut()
             self.sim.tracer.emit("net", "cut", f"{msg.kind} {msg.src}->{msg.dst}")
             return arrival
@@ -135,8 +136,8 @@ class FatTreeSwitch(Switch):
             self.stats.count_drop()
             self.sim.tracer.emit("net", "dropped", f"{msg.kind} {msg.src}->{msg.dst}")
             return arrival
-        if self.faults is not None:
-            delay = self.faults.delay_for(msg)
+        if faults is not None:
+            delay = faults.delay_for(msg)
             if delay > 0.0:
                 self.stats.count_delay()
                 self.sim.tracer.emit(
@@ -144,7 +145,7 @@ class FatTreeSwitch(Switch):
                 )
                 arrival += delay
                 msg.arrived_at = arrival
-            if self.faults.duplicate(msg):
+            if faults.duplicate(msg):
                 self.stats.count_duplicate()
                 self.sim.tracer.emit(
                     "net", "duplicated", f"{msg.kind} {msg.src}->{msg.dst}"
@@ -161,6 +162,11 @@ class FatTreeSwitch(Switch):
                 f"{msg.src}->{msg.dst} {wire_bytes}B hops={2 + 2 * (extra_switches > 0)}",
             )
         return arrival
+
+    def _transmit_flight_fast(self, msgs, on_error, src_nic) -> None:
+        from .flight import transmit_flight_fattree
+
+        transmit_flight_fattree(self, msgs, on_error, src_nic)
 
 
 def build_topology(sim: Simulator, params: NetworkParams | None = None,

@@ -169,11 +169,12 @@ class TestScenarios:
         quick = scenarios(quick=True)
         assert [s.name for s in default] == ["jacobi-8", "gauss-8"]
         assert [s.name for s in quick] == [
-            "jacobi-8-quick", "gauss-8-quick", "gauss-32-quick"
+            "jacobi-8-quick", "gauss-8-quick", "gauss-32-quick",
+            "gauss-64-quick",
         ]
         assert all(isinstance(s, PerfScenario) for s in default + quick)
         assert all(s.nprocs == 8 for s in default)
-        assert quick[-1].nprocs == 32
+        assert quick[-1].nprocs == 64
 
     def test_paper_preset_appends_table1_jacobi(self):
         names = [s.name for s in scenarios(paper=True)]

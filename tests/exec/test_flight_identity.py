@@ -1,0 +1,167 @@
+"""Flight batching must be invisible to the simulation (PROTOCOL.md §13).
+
+The flight-batched transport (``PerfParams.flight_batch``, default on)
+compiles whole fan-out exchanges — FORK waves, barrier releases, GC
+rounds, tree-relay hops, page-map and owner-update shipments — into one
+batched pass over the link occupancy model; the per-message path is
+retained as the identity reference.  Every scenario class must produce a
+:class:`ScenarioResult` bitwise identical (canonical JSON, byte for
+byte) with flights on and off, on both topologies, with the combining
+tree on and off, and the observability layer must record the same spans
+and counters either way.
+"""
+
+import json
+
+import pytest
+
+from repro.api import AdaptEvent, ObsConfig, run, spec_from_preset
+from repro.apps import APP_NAMES
+from repro.obs.export import chrome_trace, metrics_dict
+
+
+def _flight_pair(spec):
+    """The same scenario with flight batching forced on and forced off."""
+    on = run(spec.replaced(perf={**spec.perf, "flight_batch": True}))
+    off = run(spec.replaced(perf={**spec.perf, "flight_batch": False}))
+    return on, off
+
+
+def _adapt_spec(label, app="jacobi", **perf):
+    return spec_from_preset(
+        "tiny", app, 8, calibrated=False, adaptive=True, extra_nodes=2,
+        events=(AdaptEvent("leave", 0.03, 3), AdaptEvent("join", 0.06)),
+        label=label, perf=perf,
+    )
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize("app", sorted(APP_NAMES))
+    def test_every_kernel(self, app):
+        spec = spec_from_preset("tiny", app, 4, calibrated=False,
+                                label=f"flight-id-{app}")
+        on, off = _flight_pair(spec)
+        assert on.result.to_json() == off.result.to_json()
+        assert on.result.events == off.result.events
+
+    def test_adaptive_leave_join(self):
+        on, off = _flight_pair(_adapt_spec("flight-id-adapt"))
+        assert on.result.to_json() == off.result.to_json()
+        assert on.result.adaptations >= 1
+
+    def test_crash_recovery(self):
+        spec = spec_from_preset(
+            "tiny", "jacobi", 4, calibrated=False, adaptive=True,
+            extra_nodes=1, events=(AdaptEvent("crash", 0.03),),
+            checkpoint_interval=0.02, failure_detection=True,
+            label="flight-id-crash",
+        )
+        on, off = _flight_pair(spec)
+        assert on.result.to_json() == off.result.to_json()
+
+    def test_chaos_fault_plan(self):
+        # Fault injection forces the per-message fallback, so this pins
+        # the *fallback* path to the reference — and that the flights-on
+        # run with faults never takes the fast path at all.
+        plan = "\n".join([
+            "0.01 degrade 1 0.5",
+            "0.02 duplicate 0.2",
+            "0.03 crash 3",
+            "0.04 restore 1",
+        ])
+        spec = spec_from_preset(
+            "tiny", "jacobi", 4, calibrated=False, adaptive=True,
+            extra_nodes=1, fault_plan=plan, checkpoint_interval=0.02,
+            failure_detection=True, label="flight-id-chaos",
+        )
+        on, off = _flight_pair(spec)
+        assert on.result.to_json() == off.result.to_json()
+
+    def test_combining_tree(self):
+        # Tree mode routes barrier releases, GC waves, FORK relays and
+        # the owner-update drain through tree-hop flights.
+        spec = _adapt_spec("flight-id-tree", barrier_tree=True,
+                           barrier_radix=2)
+        on, off = _flight_pair(spec)
+        assert on.result.to_json() == off.result.to_json()
+
+    def test_fattree_topology(self):
+        spec = spec_from_preset(
+            "tiny", "jacobi", 8, calibrated=False, label="flight-id-ft",
+            perf={"topology": "fattree", "topology_radix": 2},
+        )
+        on, off = _flight_pair(spec)
+        assert on.result.to_json() == off.result.to_json()
+
+
+class TestFlightEngagement:
+    def test_fast_path_compiles_flights(self):
+        handle = run(spec_from_preset("tiny", "gauss", 4, calibrated=False,
+                                      label="flight-engaged"))
+        switch = handle.experiment.runtime.switch
+        assert switch.flights_compiled > 0
+        # Flights carry at least two legs (singles go through plain send).
+        assert switch.flight_legs >= 2 * switch.flights_compiled
+
+    def test_flights_off_compiles_nothing(self):
+        spec = spec_from_preset("tiny", "gauss", 4, calibrated=False,
+                                label="flight-disengaged",
+                                perf={"flight_batch": False})
+        handle = run(spec)
+        switch = handle.experiment.runtime.switch
+        assert switch.flights_compiled == 0
+        assert switch.flight_legs == 0
+
+
+class TestOwnerUpdateTreeRelay:
+    """The leave drain's OWNER_UPDATE broadcast relays through the tree."""
+
+    def test_every_survivor_learns_the_new_owner(self):
+        # Gauss keeps pages under single-writer ownership, so the leaver
+        # owns pages and the drain actually broadcasts.
+        handle = run(_adapt_spec("flight-relay", app="gauss",
+                                 barrier_tree=True, barrier_radix=2))
+        runtime = handle.experiment.runtime
+        master = runtime.master
+        npages = handle.experiment.runtime.space.total_pages
+        for proc in runtime.procs.values():
+            for page in range(npages):
+                # Ownership agrees with the master everywhere: a page the
+                # relay failed to announce would still name the leaver.
+                assert proc.owner_of(page) == master.owner_of(page)
+
+    def test_message_conservation_flat_vs_tree(self):
+        # The relay retargets hops, it does not add copies: at most one
+        # OWNER_UPDATE per survivor either way.  Tree mode can carry
+        # *fewer* — a relay hop runs one latency after the drain, so the
+        # rebuild may have renumbered pids away, and the relay drops
+        # those instead of forwarding into the new pid space (flat mode
+        # loses the same messages later, at the server loop's dst_pid
+        # mismatch check).
+        flat = run(_adapt_spec("flight-relay-flat", app="gauss"))
+        tree = run(_adapt_spec("flight-relay-tree", app="gauss",
+                               barrier_tree=True, barrier_radix=2))
+        flat_count = (flat.experiment.runtime.switch.stats.snapshot()
+                      .by_kind_messages["owner_update"])
+        tree_count = (tree.experiment.runtime.switch.stats.snapshot()
+                      .by_kind_messages["owner_update"])
+        assert flat_count > 0
+        assert 0 < tree_count <= flat_count
+
+
+class TestObsIdentityUnderFlights:
+    def test_recorded_telemetry_invariant_under_flights(self):
+        # Not just the simulated outputs: the obs registry — every span
+        # boundary, every counter, the adapt.* tiling — must be the same
+        # stream of facts whichever transport produced it.
+        spec = spec_from_preset("tiny", "gauss", 4, calibrated=False,
+                                label="flight-obs-id")
+        on = run(spec.replaced(perf={"flight_batch": True}), obs=ObsConfig())
+        off = run(spec.replaced(perf={"flight_batch": False}), obs=ObsConfig())
+        assert on.result.events == off.result.events
+        trace_on = json.dumps(chrome_trace(on.registry), sort_keys=True)
+        trace_off = json.dumps(chrome_trace(off.registry), sort_keys=True)
+        assert trace_on == trace_off
+        metrics_on = json.dumps(metrics_dict(on.registry), sort_keys=True)
+        metrics_off = json.dumps(metrics_dict(off.registry), sort_keys=True)
+        assert metrics_on == metrics_off

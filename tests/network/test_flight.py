@@ -1,0 +1,265 @@
+"""Flight-batched transport vs the per-message reference (PROTOCOL.md §13).
+
+``Switch.transmit_flight`` must be *bitwise* identical to transmitting
+the same legs one at a time: the same joint link reservations (every
+``busy_until``/``busy_time``/``bytes_carried``/``messages_carried``),
+the same traffic counters in the same Counter key order, the same
+arrival floats, and the same ``(time, priority, seq)`` event pushes.
+Hypothesis drives mixed fan-in/fan-out leg lists over both topologies,
+including pre-loaded link backlogs large enough that any re-association
+of the float chain would show up in the last ulp.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NetworkParams
+from repro.errors import NetworkError
+from repro.network import Message, Switch
+from repro.network.message import DIFF_REPLY, PAGE_BATCH_REPLY, PAGE_REPLY
+from repro.network.topology import FatTreeSwitch
+from repro.simcore import Simulator
+
+
+# -- harness ---------------------------------------------------------------
+
+KINDS = ("d", "fork", PAGE_REPLY, DIFF_REPLY, PAGE_BATCH_REPLY, "sc_data")
+
+
+def _payload_for(kind, k):
+    if kind == DIFF_REPLY:
+        return {"n_diffs": k}
+    if kind == PAGE_BATCH_REPLY:
+        return {"n_pages": k}
+    return None
+
+
+def _build_msgs(legs):
+    """Fresh Message objects per switch — transmit mutates ``arrived_at``."""
+    return [
+        Message(kind, src=src, dst=dst, size_bytes=size,
+                payload=_payload_for(kind, 1 + size % 5))
+        for src, dst, size, kind in legs
+    ]
+
+
+def _make_pair(n_nodes, backlogs, fattree=False, radix=0):
+    """Two identically pre-loaded switches: reference and flight."""
+    pair = []
+    for _ in range(2):
+        sim = Simulator()
+        if fattree:
+            switch = FatTreeSwitch(sim, NetworkParams(), radix=radix)
+        else:
+            switch = Switch(sim, NetworkParams())
+        for i in range(n_nodes):
+            switch.attach(i)
+        for link, busy in zip(switch.iter_links(), backlogs):
+            # Pre-existing backlog: exercises the max() chain and gives
+            # the float additions a large mantissa to drift against.
+            link.busy_until = busy
+        pair.append((sim, switch))
+    return pair
+
+
+def _link_state(switch):
+    return {
+        link.name: (link.busy_until, link.busy_time,
+                    link.bytes_carried, link.messages_carried)
+        for link in switch.iter_links()
+    }
+
+
+def _stats_state(switch):
+    snap = switch.stats.snapshot()
+    return (
+        snap.messages, snap.bytes, snap.pages, snap.diffs,
+        list(snap.by_kind_messages.items()),
+        list(snap.by_kind_bytes.items()),
+        list(snap.per_link_bytes.items()),
+    )
+
+
+def _queue_state(sim):
+    return [(t, prio, seq) for t, prio, seq, _ev in sim._queue._heap]
+
+
+def _assert_flight_equals_reference(legs, backlogs, fattree=False, radix=0):
+    n_nodes = max(max(s for s, *_ in legs), max(d for _, d, *_ in legs)) + 1
+    (sim_ref, sw_ref), (sim_fly, sw_fly) = _make_pair(
+        n_nodes, backlogs, fattree=fattree, radix=radix
+    )
+    ref_msgs = _build_msgs(legs)
+    fly_msgs = _build_msgs(legs)
+
+    for msg in ref_msgs:
+        sw_ref.transmit(msg)
+    sw_fly.transmit_flight(fly_msgs)
+
+    assert sw_fly.flights_compiled == 1
+    assert sw_fly.flight_legs == len(legs)
+    for ref, fly in zip(ref_msgs, fly_msgs):
+        assert fly.arrived_at == ref.arrived_at  # exact, not approx
+    assert _link_state(sw_fly) == _link_state(sw_ref)
+    assert _stats_state(sw_fly) == _stats_state(sw_ref)
+    assert _queue_state(sim_fly) == _queue_state(sim_ref)
+
+
+# -- hypothesis properties -------------------------------------------------
+
+legs_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 7),                      # src
+        st.integers(0, 7),                      # dst (src == dst: loopback)
+        st.integers(0, 200_000),                # payload bytes
+        st.sampled_from(KINDS),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+# Backlogs far from zero make the reservation chain accumulate against a
+# large mantissa, where any re-association of the additions would flip
+# the last ulp; tiny per-byte slots on top of seconds of backlog is the
+# worst case for float drift.
+backlog_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+              allow_infinity=False),
+    min_size=40,
+    max_size=40,
+)
+
+
+class TestStarFlightProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(legs=legs_strategy, backlogs=backlog_strategy)
+    def test_flight_matches_sequential_reference(self, legs, backlogs):
+        _assert_flight_equals_reference(legs, backlogs)
+
+
+class TestFatTreeFlightProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(legs=legs_strategy, backlogs=backlog_strategy,
+           radix=st.integers(2, 4))
+    def test_flight_matches_sequential_reference(self, legs, backlogs, radix):
+        # radix < n_nodes forces cross-leaf legs through the trunks,
+        # where the 4-link joint slot and the extra hop latency live.
+        _assert_flight_equals_reference(legs, backlogs, fattree=True,
+                                        radix=radix)
+
+
+# -- error and fallback semantics ------------------------------------------
+
+def _star(n=4):
+    sim = Simulator()
+    switch = Switch(sim, NetworkParams())
+    nics = [switch.attach(i) for i in range(n)]
+    return sim, switch, nics
+
+
+class TestFlightErrors:
+    def test_unknown_destination_raises_without_handler(self):
+        sim, switch, nics = _star(2)
+        msgs = [Message("d", src=0, dst=1, size_bytes=8),
+                Message("d", src=0, dst=9, size_bytes=8)]
+        with pytest.raises(NetworkError):
+            switch.transmit_flight(msgs)
+        # The first leg already flew — same as the sequential loop.
+        assert switch.stats.snapshot().messages == 1
+
+    def test_on_error_reports_and_remaining_legs_fly(self):
+        sim, switch, nics = _star(4)
+        switch.detach(2)
+        seen = []
+        msgs = [Message("d", src=0, dst=1, size_bytes=8),
+                Message("d", src=0, dst=2, size_bytes=8),
+                Message("d", src=0, dst=3, size_bytes=8)]
+        switch.transmit_flight(msgs, on_error=lambda m, e: seen.append(m.dst))
+        assert seen == [2]
+        assert switch.stats.snapshot().messages == 2
+
+    def test_detached_src_nic_checked_per_leg(self):
+        sim, switch, nics = _star(3)
+        switch.detach(0)
+        seen = []
+        msgs = [Message("d", src=0, dst=1, size_bytes=8),
+                Message("d", src=0, dst=2, size_bytes=8)]
+        switch.transmit_flight(msgs, on_error=lambda m, e: seen.append(m.dst),
+                               src_nic=nics[0])
+        assert seen == [1, 2]
+        assert switch.stats.snapshot().messages == 0
+
+
+class TestFlightFallback:
+    """Loss / faults / tracing are per-message: flights must not compile."""
+
+    def test_loss_model_routes_through_reference(self):
+        sim = Simulator()
+        switch = Switch(sim, NetworkParams(loss_rate=0.5, loss_seed=7))
+        for i in range(3):
+            switch.attach(i)
+        switch.transmit_flight([Message("d", src=0, dst=1, size_bytes=8),
+                                Message("d", src=0, dst=2, size_bytes=8)])
+        assert switch.flights_compiled == 0
+        assert switch.stats.snapshot().messages == 2
+
+    def test_tracer_routes_through_reference(self):
+        sim, switch, nics = _star(3)
+        sim.tracer.enabled = True
+        switch.transmit_flight([Message("d", src=0, dst=1, size_bytes=8)])
+        assert switch.flights_compiled == 0
+        assert switch.stats.snapshot().messages == 1
+
+    def test_installed_faults_route_through_reference(self):
+        from repro.faults.links import LinkFaults
+
+        sim, switch, nics = _star(3)
+        switch.faults = LinkFaults()
+        switch.transmit_flight([Message("d", src=0, dst=1, size_bytes=8)])
+        assert switch.flights_compiled == 0
+        assert switch.stats.snapshot().messages == 1
+
+    def test_fallback_raises_like_reference(self):
+        sim, switch, nics = _star(2)
+        sim.tracer.enabled = True
+        with pytest.raises(NetworkError):
+            switch.transmit_flight([Message("d", src=0, dst=9, size_bytes=8)])
+
+
+class TestWireReliabilityCache:
+    """Nic._unreliable_wire is cached when the answer is static."""
+
+    def test_lossless_healthy_wire_caches_false(self):
+        sim, switch, nics = _star(2)
+        assert nics[0]._unreliable_wire() is False
+        assert nics[0]._wire_unreliable is False
+
+    def test_loss_model_caches_true(self):
+        sim = Simulator()
+        switch = Switch(sim, NetworkParams(loss_rate=0.1, loss_seed=1))
+        nic = switch.attach(0)
+        assert nic._unreliable_wire() is True
+        assert nic._wire_unreliable is True
+
+    def test_installing_faults_invalidates_cache(self):
+        from repro.faults.links import LinkFaults
+
+        sim, switch, nics = _star(2)
+        assert nics[0]._unreliable_wire() is False
+        faults = LinkFaults()
+        switch.faults = faults
+        # Healthy fault state: answer stays False but must NOT be cached —
+        # the injector may degrade a link later.
+        assert nics[0]._wire_unreliable is None
+        assert nics[0]._unreliable_wire() is False
+        assert nics[0]._wire_unreliable is None
+
+    def test_unreliable_faults_latch_true(self):
+        from repro.faults.links import LinkFaults
+
+        sim, switch, nics = _star(2)
+        faults = LinkFaults()
+        switch.faults = faults
+        faults.mark_unreliable()
+        assert nics[0]._unreliable_wire() is True
+        assert nics[0]._wire_unreliable is True
